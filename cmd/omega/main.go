@@ -1,0 +1,194 @@
+// Command omega evaluates conjunctive regular path queries with the APPROX
+// and RELAX flexible operators over a graph dataset.
+//
+// Usage:
+//
+//	omega -data l4all:L1 -query '(?X) <- APPROX (Librarians, type-, ?X)' [-limit 100]
+//	omega -data yago:0.1 -query '(?X) <- RELAX (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)'
+//	omega -graph g.txt -ontology o.txt -query '...'
+//
+// Datasets:
+//
+//	l4all:L1 .. l4all:L4   the paper's §4.1 workload at the given scale
+//	yago:<factor>          the synthetic YAGO workload (§4.2), scaled
+//	-graph/-ontology       files in the omega-graph/omega-ontology v1 formats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"omega"
+)
+
+func main() {
+	var (
+		data        = flag.String("data", "", "builtin dataset: l4all:L1..L4 or yago:<scale factor>")
+		graphFile   = flag.String("graph", "", "graph file (omega-graph v1)")
+		ontFile     = flag.String("ontology", "", "ontology file (omega-ontology v1)")
+		queryText   = flag.String("query", "", "CRP query, e.g. '(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)'")
+		mode        = flag.String("mode", "", "override every conjunct's mode: exact|approx|relax|flex")
+		limit       = flag.Int("limit", 100, "maximum number of answers (0 = all)")
+		distAware   = flag.Bool("distance-aware", false, "enable §4.3 retrieval by distance")
+		disjunct    = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
+		rareSide    = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end (extension)")
+		budget      = flag.Int("max-tuples", 0, "tuple budget (0 = unlimited)")
+		stats       = flag.Bool("stats", false, "print evaluation statistics")
+		explain     = flag.Bool("explain", false, "print the evaluation plan instead of running the query")
+		interactive = flag.Bool("interactive", false, "start the interactive console (paper's console layer)")
+		batch       = flag.Int("batch", 10, "answers per console batch (interactive mode)")
+	)
+	flag.Parse()
+
+	if *queryText == "" && !*interactive {
+		fmt.Fprintln(os.Stderr, "omega: -query or -interactive is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, ont, err := loadData(*data, *graphFile, *ontFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := omega.Options{
+		DistanceAware: *distAware,
+		Disjunction:   *disjunct,
+		RareSide:      *rareSide,
+		MaxTuples:     *budget,
+	}
+	eng := omega.NewEngine(g, ont).WithOptions(opts)
+
+	if *interactive {
+		repl(os.Stdin, os.Stdout, eng, *batch)
+		return
+	}
+
+	if *explain {
+		plan, err := eng.Explain(*queryText)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+
+	start := time.Now()
+	var rows *omega.Rows
+	if *mode != "" {
+		m, err := parseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err = eng.QueryTextMode(*queryText, m)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		rows, err = eng.QueryText(*queryText)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	count := 0
+	for *limit <= 0 || count < *limit {
+		row, ok, err := rows.Next()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omega: %v (after %d answers)\n", err, count)
+			os.Exit(1)
+		}
+		if !ok {
+			break
+		}
+		fmt.Println(row)
+		count++
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%d answers in %v\n", count, elapsed)
+	if *stats {
+		s := rows.Stats()
+		fmt.Fprintf(os.Stderr, "tuples added=%d popped=%d visited=%d phases=%d neighbour-calls=%d cache-hits=%d\n",
+			s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.NeighborCalls, s.CacheHits)
+	}
+}
+
+func parseMode(s string) (omega.Mode, error) {
+	switch strings.ToLower(s) {
+	case "exact":
+		return omega.Exact, nil
+	case "approx":
+		return omega.Approx, nil
+	case "relax":
+		return omega.Relax, nil
+	case "flex":
+		return omega.Flex, nil
+	}
+	return omega.Exact, fmt.Errorf("omega: unknown mode %q", s)
+}
+
+func loadData(data, graphFile, ontFile string) (*omega.Graph, *omega.Ontology, error) {
+	switch {
+	case data != "":
+		name, arg, _ := strings.Cut(data, ":")
+		switch strings.ToLower(name) {
+		case "l4all":
+			if arg == "" {
+				arg = "L1"
+			}
+			return omega.GenerateL4All(arg)
+		case "yago":
+			factor := 1.0
+			if arg != "" {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("omega: bad yago scale %q", arg)
+				}
+				factor = f
+			}
+			g, o := omega.GenerateYAGO(factor)
+			return g, o, nil
+		default:
+			return nil, nil, fmt.Errorf("omega: unknown dataset %q (want l4all:<scale> or yago:<factor>)", data)
+		}
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		var g *omega.Graph
+		if strings.HasSuffix(graphFile, ".nt") {
+			b := omega.NewGraphBuilder()
+			if _, err := omega.LoadNTriples(f, b, false); err != nil {
+				return nil, nil, err
+			}
+			g = b.Freeze()
+		} else if g, err = omega.LoadGraph(f); err != nil {
+			return nil, nil, err
+		}
+		var ont *omega.Ontology
+		if ontFile != "" {
+			of, err := os.Open(ontFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer of.Close()
+			ont, err = omega.LoadOntology(of)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return g, ont, nil
+	default:
+		return nil, nil, fmt.Errorf("omega: provide -data or -graph")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "omega: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"omega"
+)
+
+// repl implements the console layer of the paper's architecture (§3): users
+// submit queries, results stream back in order of increasing distance, and
+// "users [are] able to specify a limit on the number of results returned in
+// each phase" — the `more` command pulls the next batch.
+func repl(in io.Reader, out io.Writer, eng *omega.Engine, batch int) {
+	fmt.Fprintln(out, "omega console — type a query, 'help', or 'quit'")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var current *omega.Rows
+	served := 0
+	prompt := func() { fmt.Fprint(out, "omega> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		case line == "help":
+			fmt.Fprintln(out, `commands:
+  (?X) <- APPROX (a, p.q, ?X)   submit a CRP query; prints the first batch
+  more [n]                      next n answers of the current query (default batch)
+  explain <query>               show the evaluation plan
+  help | quit`)
+		case line == "more" || strings.HasPrefix(line, "more "):
+			if current == nil {
+				fmt.Fprintln(out, "no active query")
+				break
+			}
+			n := batch
+			if rest := strings.TrimSpace(strings.TrimPrefix(line, "more")); rest != "" {
+				if v, err := strconv.Atoi(rest); err == nil && v > 0 {
+					n = v
+				}
+			}
+			served += printBatch(out, current, n)
+		case strings.HasPrefix(line, "explain "):
+			plan, err := eng.Explain(strings.TrimPrefix(line, "explain "))
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			fmt.Fprint(out, plan)
+		default:
+			rows, err := eng.QueryText(line)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			current = rows
+			served = 0
+			start := time.Now()
+			served += printBatch(out, current, batch)
+			fmt.Fprintf(out, "(%d answer(s) in %v; 'more' for the next batch)\n",
+				served, time.Since(start).Round(time.Microsecond))
+		}
+		prompt()
+	}
+}
+
+// printBatch pulls up to n answers and prints them; returns how many came.
+func printBatch(out io.Writer, rows *omega.Rows, n int) int {
+	got, err := rows.Collect(n)
+	for _, r := range got {
+		fmt.Fprintf(out, "  %v\n", r)
+	}
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return len(got)
+	}
+	if len(got) < n {
+		fmt.Fprintln(out, "  (no more answers)")
+	}
+	return len(got)
+}

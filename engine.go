@@ -1,0 +1,138 @@
+package omega
+
+import (
+	"fmt"
+
+	"omega/internal/core"
+)
+
+// Engine bundles a graph, an optional ontology and evaluation options into a
+// convenient query interface.
+type Engine struct {
+	g    *Graph
+	ont  *Ontology
+	opts Options
+}
+
+// NewEngine returns an Engine over g. ont may be nil when RELAX is not used.
+func NewEngine(g *Graph, ont *Ontology) *Engine {
+	return &Engine{g: g, ont: ont}
+}
+
+// WithOptions returns a copy of the engine using the given options.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	return &Engine{g: e.g, ont: e.ont, opts: opts}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Ontology returns the engine's ontology (may be nil).
+func (e *Engine) Ontology() *Ontology { return e.ont }
+
+// Row is one query result with node labels resolved.
+type Row struct {
+	Vars   []string
+	Nodes  []NodeID
+	Labels []string
+	Dist   int
+}
+
+// String implements fmt.Stringer.
+func (r Row) String() string {
+	s := ""
+	for i, v := range r.Vars {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("?%s=%s", v, r.Labels[i])
+	}
+	return fmt.Sprintf("[%s] dist=%d", s, r.Dist)
+}
+
+// Rows iterates query results.
+type Rows struct {
+	it QueryIterator
+	g  *Graph
+}
+
+// Next returns the next row in non-decreasing distance.
+func (r *Rows) Next() (Row, bool, error) {
+	a, ok, err := r.it.Next()
+	if !ok || err != nil {
+		return Row{}, false, err
+	}
+	row := Row{Vars: a.Head, Nodes: a.Nodes, Dist: int(a.Dist)}
+	row.Labels = make([]string, len(a.Nodes))
+	for i, n := range a.Nodes {
+		row.Labels[i] = r.g.NodeLabel(n)
+	}
+	return row, true, nil
+}
+
+// Collect pulls up to limit rows (limit ≤ 0 means all).
+func (r *Rows) Collect(limit int) ([]Row, error) {
+	var out []Row
+	for limit <= 0 || len(out) < limit {
+		row, ok, err := r.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Stats reports evaluation counters if the underlying iterator tracks them.
+func (r *Rows) Stats() Stats {
+	if sr, ok := r.it.(core.StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
+// Query evaluates a parsed query.
+func (e *Engine) Query(q *Query) (*Rows, error) {
+	it, err := core.OpenQuery(e.g, e.ont, q, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{it: it, g: e.g}, nil
+}
+
+// QueryText parses and evaluates a textual query.
+func (e *Engine) QueryText(text string) (*Rows, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Query(q)
+}
+
+// QueryTextMode parses a textual query, overrides every conjunct's mode, and
+// evaluates it. This is how the study runs the same query in exact, APPROX
+// and RELAX variants.
+func (e *Engine) QueryTextMode(text string, mode Mode) (*Rows, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i].Mode = mode
+	}
+	return e.Query(q)
+}
+
+// Explain renders the evaluation plan for a textual query without running
+// it: per conjunct, the Open case, automaton sizes, seed populations and the
+// optimisation strategies in effect.
+func (e *Engine) Explain(text string) (string, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return "", err
+	}
+	return core.ExplainQuery(e.g, e.ont, q, e.opts)
+}

@@ -1,0 +1,67 @@
+// L4All walkthrough: the lifelong-learning workload of the paper's §4.1.
+// Generates the L1 data graph (143 timelines of work/education episodes),
+// then runs three of the study queries in exact, APPROX and RELAX modes,
+// showing how the flexible operators recover answers where exact matching
+// returns nothing.
+//
+//	go run ./examples/l4all
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"omega"
+)
+
+func main() {
+	start := time.Now()
+	g, ont, err := omega.GenerateL4All("L1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L1 data graph: %d nodes, %d edges (generated in %v)\n\n",
+		g.NumNodes(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	eng := omega.NewEngine(g, ont)
+
+	// Q10: job events classified as Librarians. RELAX climbs the Occupation
+	// hierarchy (Librarians → Information Professionals), matching sibling
+	// professions at distance 1.
+	demo(eng, "Q10", "(?X) <- (Librarians, type-, ?X)")
+
+	// Q12: qualifications at the BTEC Introductory Diploma level followed by
+	// a prerequisite step. Exact yields nothing (the diploma closes a
+	// timeline); RELAX finds siblings under Level 1; APPROX edits the path.
+	demo(eng, "Q12", "(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)")
+
+	// Q8: a deliberately broken query (type instead of type−). Only APPROX
+	// can recover, at edit distance 2.
+	demo(eng, "Q8", "(?X) <- (Mathematical and Computer Sciences, type.prereq+, ?X)")
+}
+
+func demo(eng *omega.Engine, id, q string) {
+	fmt.Printf("— %s: %s\n", id, q)
+	for _, mode := range []omega.Mode{omega.Exact, omega.Approx, omega.Relax} {
+		start := time.Now()
+		rows, err := eng.QueryTextMode(q, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := rows.Collect(100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byDist := map[int]int{}
+		for _, r := range got {
+			byDist[r.Dist]++
+		}
+		fmt.Printf("  %-6v %3d answers in %8v  by distance: %v\n",
+			mode, len(got), time.Since(start).Round(time.Microsecond), byDist)
+		if len(got) > 0 {
+			fmt.Printf("         first: %v\n", got[0])
+		}
+	}
+	fmt.Println()
+}

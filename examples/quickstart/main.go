@@ -1,0 +1,73 @@
+// Quickstart: build a small graph, pose an exact query, then see APPROX and
+// RELAX recover answers the exact query misses.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omega"
+)
+
+func main() {
+	// A miniature knowledge graph about people and places.
+	b := omega.NewGraphBuilder()
+	for _, t := range [][3]string{
+		{"Oxford", "isLocatedIn", "UK"},
+		{"Birkbeck", "isLocatedIn", "UK"},
+		{"Cambridge", "isLocatedIn", "UK"},
+		{"alice", "gradFrom", "Oxford"},
+		{"bob", "gradFrom", "Birkbeck"},
+		{"carol", "gradFrom", "Cambridge"},
+		{"dave", "worksAt", "Oxford"},
+		{"SummerFest", "isLocatedIn", "UK"},
+		{"SummerFest", "happenedIn", "Oxford"},
+	} {
+		if err := b.AddTriple(t[0], t[1], t[2]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Freeze()
+
+	// A small ontology: gradFrom and happenedIn share a superproperty.
+	ont := omega.NewOntology()
+	ont.AddSubproperty("gradFrom", "relationLocatedByObject")
+	ont.AddSubproperty("happenedIn", "relationLocatedByObject")
+	ont.AddSubproperty("worksAt", "relationLocatedByObject")
+
+	eng := omega.NewEngine(g, ont)
+
+	// The user wants people who graduated from an institution in the UK but
+	// writes the last step in the wrong direction (paper Example 1).
+	const q = "(?X) <- (UK, isLocatedIn-.gradFrom, ?X)"
+	show(eng, "EXACT  "+q, q)
+
+	// APPROX repairs the mistake by substituting gradFrom with gradFrom−
+	// at edit distance 1 (paper Example 2).
+	show(eng, "APPROX "+q, "(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)")
+
+	// RELAX generalises gradFrom to its superproperty, so happenedIn and
+	// worksAt edges start to match at relaxation distance 1 (paper Example 3).
+	show(eng, "RELAX  "+q, "(?X) <- RELAX (UK, isLocatedIn-.gradFrom, ?X)")
+}
+
+func show(eng *omega.Engine, title, q string) {
+	rows, err := eng.QueryText(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := rows.Collect(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	if len(got) == 0 {
+		fmt.Println("  (no answers)")
+	}
+	for _, r := range got {
+		fmt.Printf("  %s\n", r)
+	}
+	fmt.Println()
+}

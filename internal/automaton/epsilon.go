@@ -1,0 +1,104 @@
+package automaton
+
+// Weighted ε-removal (§3.3). Because the automaton is weighted, removing
+// ε-transitions may leave final states with an additional positive weight
+// (Droste, Kuich & Vogler): the weight of a state s is the cheapest ε-path
+// from s to a final state. Transitions are replaced by (s, a, d+c, u) for
+// every ε-path s ⤳ t of cost d and non-ε transition (t, a, c, u), keeping
+// the minimum cost per (s, a, u).
+
+type epsEdge struct {
+	to   int32
+	cost int32
+}
+
+// RemoveEpsilon returns an equivalent automaton with no ε-transitions and
+// per-state final weights. The result is trimmed of useless states.
+func (n *NFA) RemoveEpsilon() *NFA {
+	epsAdj := make([][]epsEdge, n.NumStates)
+	var nonEps []Transition
+	nonEpsFrom := make([][]int32, n.NumStates) // indexes into nonEps
+	for _, t := range n.Trans {
+		if t.Kind == Eps {
+			epsAdj[t.From] = append(epsAdj[t.From], epsEdge{to: t.To, cost: t.Cost})
+		} else {
+			nonEpsFrom[t.From] = append(nonEpsFrom[t.From], int32(len(nonEps)))
+			nonEps = append(nonEps, t)
+		}
+	}
+
+	out := &NFA{NumStates: n.NumStates, Start: n.Start, Finals: map[int32]int32{}}
+	type key struct {
+		from, to    int32
+		kind        Kind
+		label       string
+		dir         uint8
+		targetClass string
+		expand      bool
+	}
+	best := map[key]int32{}
+
+	dist := make([]int32, n.NumStates)
+	inQueue := make([]bool, n.NumStates)
+	for s := int32(0); s < n.NumStates; s++ {
+		// Single-source cheapest ε-paths from s. The automata are small
+		// (O(|R|) states) and ε-costs are non-negative; a simple label-
+		// correcting queue (SPFA) is adequate and avoids a heap.
+		for i := range dist {
+			dist[i] = -1
+			inQueue[i] = false
+		}
+		dist[s] = 0
+		queue := []int32{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			inQueue[cur] = false
+			d := dist[cur]
+			for _, e := range epsAdj[cur] {
+				nd := d + e.cost
+				if dist[e.to] == -1 || nd < dist[e.to] {
+					dist[e.to] = nd
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+
+		for t := int32(0); t < n.NumStates; t++ {
+			d := dist[t]
+			if d < 0 {
+				continue
+			}
+			for _, ti := range nonEpsFrom[t] {
+				tr := nonEps[ti]
+				k := key{
+					from: s, to: tr.To, kind: tr.Kind, label: tr.Label,
+					dir: uint8(tr.Dir), targetClass: tr.TargetClass, expand: tr.Expand,
+				}
+				cost := d + tr.Cost
+				if old, ok := best[k]; !ok || cost < old {
+					best[k] = cost
+				}
+			}
+			if w, final := n.Finals[t]; final {
+				fw := d + w
+				if old, ok := out.Finals[s]; !ok || fw < old {
+					out.Finals[s] = fw
+				}
+			}
+		}
+	}
+
+	out.Trans = make([]Transition, 0, len(best))
+	for k, cost := range best {
+		out.Trans = append(out.Trans, Transition{
+			From: k.from, To: k.to, Kind: k.kind, Label: k.label,
+			Dir: graphDir(k.dir), Cost: cost, TargetClass: k.targetClass, Expand: k.expand,
+		})
+	}
+	return out.Trim()
+}

@@ -1,0 +1,102 @@
+package automaton
+
+import (
+	"strings"
+	"testing"
+
+	"omega/internal/rpq"
+)
+
+// Golden tests pin the automaton construction: a change to Thompson
+// construction or ε-removal that alters state numbering or transition sets
+// shows up here first, before it surfaces as a subtle evaluation difference.
+
+func TestGoldenSingleLabel(t *testing.T) {
+	got := FromRegexp(rpq.MustParse("a")).String()
+	want := strings.Join([]string{
+		"states=2 start=0",
+		"final 1 w=0",
+		"0 -a/out/0-> 1",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenInverseLabel(t *testing.T) {
+	got := FromRegexp(rpq.MustParse("a-")).String()
+	if !strings.Contains(got, "0 -a/in/0-> 1") {
+		t.Fatalf("inverse label direction lost:\n%s", got)
+	}
+}
+
+func TestGoldenConcatAfterEpsilonRemoval(t *testing.T) {
+	got := FromRegexp(rpq.MustParse("a.b")).RemoveEpsilon().String()
+	want := strings.Join([]string{
+		"states=3 start=0",
+		"final 2 w=0",
+		"0 -a/out/0-> 1",
+		"1 -b/out/0-> 2",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenStarIsEpsilonFreeAndCompact(t *testing.T) {
+	n := FromRegexp(rpq.MustParse("a*")).RemoveEpsilon()
+	// a* after ε-removal and trimming: the start is final with weight 0 and
+	// every state loops on a.
+	if w, ok := n.IsFinal(n.Start); !ok || w != 0 {
+		t.Fatalf("start not weight-0 final in a*:\n%s", n)
+	}
+	for _, tr := range n.Trans {
+		if tr.Kind == Eps {
+			t.Fatalf("ε-transition survived:\n%s", n)
+		}
+		if tr.Label != "a" {
+			t.Fatalf("unexpected label %q:\n%s", tr.Label, n)
+		}
+	}
+}
+
+func TestGoldenApproxTransitionBudget(t *testing.T) {
+	// For R = a with unit costs, the ε-free APPROX automaton has exactly:
+	// a (0), substitution */both (1), two insertion self-loops (1), and the
+	// final-weight-1 start (deletion). 2 states.
+	n := FromRegexp(rpq.MustParse("a")).Approx(DefaultEditCosts()).RemoveEpsilon()
+	if n.NumStates != 2 {
+		t.Fatalf("states = %d, want 2:\n%s", n.NumStates, n)
+	}
+	if len(n.Trans) != 4 {
+		t.Fatalf("transitions = %d, want 4:\n%s", len(n.Trans), n)
+	}
+	var aCount, anyCount, loops int
+	for _, tr := range n.Trans {
+		switch {
+		case tr.Kind == Sym && tr.Label == "a" && tr.Cost == 0:
+			aCount++
+		case tr.Kind == Any && tr.From == tr.To && tr.Cost == 1:
+			loops++
+		case tr.Kind == Any && tr.From != tr.To && tr.Cost == 1:
+			anyCount++
+		default:
+			t.Fatalf("unexpected transition %+v:\n%s", tr, n)
+		}
+	}
+	if aCount != 1 || anyCount != 1 || loops != 2 {
+		t.Fatalf("shape = a:%d any:%d loops:%d, want 1/1/2:\n%s", aCount, anyCount, loops, n)
+	}
+}
+
+func TestConstructionDeterministic(t *testing.T) {
+	for _, re := range []string{"a.b|c*", "(a|b)+.c-", "a?._"} {
+		a := FromRegexp(rpq.MustParse(re)).RemoveEpsilon().String()
+		b := FromRegexp(rpq.MustParse(re)).RemoveEpsilon().String()
+		if a != b {
+			t.Fatalf("%q: construction not deterministic:\n%s\nvs\n%s", re, a, b)
+		}
+	}
+}

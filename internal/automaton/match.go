@@ -1,0 +1,135 @@
+package automaton
+
+import (
+	"container/heap"
+
+	"omega/internal/graph"
+	"omega/internal/ontology"
+)
+
+// WordSym is one symbol of a path word: an edge label together with the
+// direction it was traversed in. It is the alphabet over which the automaton
+// semantics are defined (Σ plus type, and their reversals).
+type WordSym struct {
+	Label   string
+	Inverse bool
+}
+
+// MinCostWord returns the cheapest cost at which the automaton accepts the
+// given word, and whether it accepts at all. It is the reference semantics
+// used by the test suite: evaluation over a graph must agree with
+// MinCostWord applied to the label word of the traversed path.
+//
+// ont resolves Expand transitions (RELAX rule i) and may be nil when the
+// automaton contains none. Transitions carrying a TargetClass constraint are
+// ignored: their semantics depend on graph nodes, which a word cannot
+// express.
+func (n *NFA) MinCostWord(word []WordSym, ont *ontology.Ontology) (int32, bool) {
+	type node struct {
+		state int32
+		pos   int32
+	}
+	dist := map[node]int32{}
+	pq := &costHeap{}
+	push := func(s, pos, d int32) {
+		k := node{s, pos}
+		if old, ok := dist[k]; ok && old <= d {
+			return
+		}
+		dist[k] = d
+		heap.Push(pq, costItem{state: s, pos: pos, dist: d})
+	}
+	push(n.Start, 0, 0)
+
+	adj := make([][]Transition, n.NumStates)
+	for _, t := range n.Trans {
+		adj[t.From] = append(adj[t.From], t)
+	}
+
+	best := int32(-1)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(costItem)
+		k := node{it.state, it.pos}
+		if dist[k] < it.dist {
+			continue
+		}
+		if best >= 0 && it.dist >= best {
+			continue
+		}
+		if int(it.pos) == len(word) {
+			if w, ok := n.Finals[it.state]; ok {
+				total := it.dist + w
+				if best < 0 || total < best {
+					best = total
+				}
+			}
+		}
+		for _, t := range adj[it.state] {
+			switch t.Kind {
+			case Eps:
+				push(t.To, it.pos, it.dist+t.Cost)
+			case Sym, Any:
+				if int(it.pos) >= len(word) {
+					continue
+				}
+				if t.TargetClass != "" {
+					continue // needs graph context; not expressible on words
+				}
+				if matches(t, word[it.pos], ont) {
+					push(t.To, it.pos+1, it.dist+t.Cost)
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func matches(t Transition, w WordSym, ont *ontology.Ontology) bool {
+	switch t.Dir {
+	case graph.Out:
+		if w.Inverse {
+			return false
+		}
+	case graph.In:
+		if !w.Inverse {
+			return false
+		}
+	}
+	if t.Kind == Any {
+		return true
+	}
+	if t.Label == w.Label {
+		return true
+	}
+	if t.Expand && ont != nil {
+		for _, sub := range ont.PropertyDescendants(t.Label) {
+			if sub == w.Label {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type costItem struct {
+	state int32
+	pos   int32
+	dist  int32
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,340 @@
+// Package automaton implements the weighted NFAs at the core of Omega
+// (paper §3.3): construction of M_R from a regular path expression R,
+// augmentation into A_R (APPROX, edit operations as weighted transitions)
+// and M^K_R (RELAX, ontology-driven transitions), weighted ε-removal with
+// final-state weights (Droste, Kuich & Vogler, Handbook of Weighted
+// Automata), reversal, and compilation against a concrete graph.
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"omega/internal/graph"
+	"omega/internal/rpq"
+)
+
+// Kind classifies a transition's label.
+type Kind uint8
+
+const (
+	// Eps consumes no edge.
+	Eps Kind = iota
+	// Sym consumes one edge with a specific label.
+	Sym
+	// Any consumes one edge with any label including type (the paper's
+	// wildcard '*' transition).
+	Any
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Eps:
+		return "ε"
+	case Sym:
+		return "sym"
+	case Any:
+		return "*"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Transition is one weighted transition (s, a, c, t) of the NFA (§3.3).
+type Transition struct {
+	From, To int32
+	Kind     Kind
+	Label    string          // Sym only
+	Dir      graph.Direction // Sym/Any: Out = forward edge, In = reversed (a−), Both = either
+	Cost     int32
+	// TargetClass, when non-empty, requires the traversed edge to land on
+	// the node with this label (used by RELAX rule (ii): property p becomes
+	// a type edge to dom(p)/range(p)).
+	TargetClass string
+	// Expand marks a transition added by RELAX rule (i): at evaluation time
+	// the label matches itself and all its subproperties.
+	Expand bool
+}
+
+// NFA is a weighted automaton. Finals maps each final state to its weight
+// (ε-removal can give final states a positive weight, §3.3).
+type NFA struct {
+	NumStates int32
+	Start     int32
+	Finals    map[int32]int32
+	Trans     []Transition
+}
+
+// Clone returns a deep copy.
+func (n *NFA) Clone() *NFA {
+	c := &NFA{
+		NumStates: n.NumStates,
+		Start:     n.Start,
+		Finals:    make(map[int32]int32, len(n.Finals)),
+		Trans:     append([]Transition(nil), n.Trans...),
+	}
+	for s, w := range n.Finals {
+		c.Finals[s] = w
+	}
+	return c
+}
+
+// IsFinal reports whether s is final, returning its weight.
+func (n *NFA) IsFinal(s int32) (int32, bool) {
+	w, ok := n.Finals[s]
+	return w, ok
+}
+
+// String renders the NFA for debugging and golden tests.
+func (n *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states=%d start=%d\n", n.NumStates, n.Start)
+	finals := make([]int32, 0, len(n.Finals))
+	for s := range n.Finals {
+		finals = append(finals, s)
+	}
+	sort.Slice(finals, func(i, j int) bool { return finals[i] < finals[j] })
+	for _, s := range finals {
+		fmt.Fprintf(&b, "final %d w=%d\n", s, n.Finals[s])
+	}
+	ts := append([]Transition(nil), n.Trans...)
+	sort.Slice(ts, func(i, j int) bool {
+		a, c := ts[i], ts[j]
+		if a.From != c.From {
+			return a.From < c.From
+		}
+		if a.To != c.To {
+			return a.To < c.To
+		}
+		if a.Kind != c.Kind {
+			return a.Kind < c.Kind
+		}
+		if a.Label != c.Label {
+			return a.Label < c.Label
+		}
+		return a.Cost < c.Cost
+	})
+	for _, t := range ts {
+		lbl := t.Label
+		switch t.Kind {
+		case Eps:
+			lbl = "ε"
+		case Any:
+			lbl = "*"
+		}
+		fmt.Fprintf(&b, "%d -%s/%s/%d-> %d", t.From, lbl, t.Dir, t.Cost, t.To)
+		if t.TargetClass != "" {
+			fmt.Fprintf(&b, " [to:%s]", t.TargetClass)
+		}
+		if t.Expand {
+			b.WriteString(" [expand]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fragment is a partial automaton with one entry and one exit state, used by
+// the Thompson construction.
+type fragment struct {
+	start, end int32
+}
+
+type builder struct {
+	next  int32
+	trans []Transition
+}
+
+func (b *builder) newState() int32 {
+	s := b.next
+	b.next++
+	return s
+}
+
+func (b *builder) add(from, to int32, kind Kind, label string, dir graph.Direction, cost int32) {
+	b.trans = append(b.trans, Transition{From: from, To: to, Kind: kind, Label: label, Dir: dir, Cost: cost})
+}
+
+func (b *builder) eps(from, to int32) { b.add(from, to, Eps, "", graph.Out, 0) }
+
+// FromRegexp builds the weighted NFA M_R for a regular path expression using
+// the standard Thompson construction. All transitions have cost 0; the single
+// final state has weight 0. ε-transitions remain: callers augment (APPROX /
+// RELAX) and then call RemoveEpsilon.
+func FromRegexp(e *rpq.Expr) *NFA {
+	b := &builder{}
+	frag := b.build(e)
+	n := &NFA{
+		NumStates: b.next,
+		Start:     frag.start,
+		Finals:    map[int32]int32{frag.end: 0},
+		Trans:     b.trans,
+	}
+	return n
+}
+
+func (b *builder) build(e *rpq.Expr) fragment {
+	switch e.Op {
+	case rpq.OpEps:
+		s, t := b.newState(), b.newState()
+		b.eps(s, t)
+		return fragment{s, t}
+	case rpq.OpLabel:
+		s, t := b.newState(), b.newState()
+		dir := graph.Out
+		if e.Inverse {
+			dir = graph.In
+		}
+		b.add(s, t, Sym, e.Label, dir, 0)
+		return fragment{s, t}
+	case rpq.OpAny:
+		s, t := b.newState(), b.newState()
+		dir := graph.Out
+		if e.Inverse {
+			dir = graph.In
+		}
+		b.add(s, t, Any, "", dir, 0)
+		return fragment{s, t}
+	case rpq.OpConcat:
+		first := b.build(e.Kids[0])
+		prev := first
+		for _, k := range e.Kids[1:] {
+			next := b.build(k)
+			b.eps(prev.end, next.start)
+			prev = next
+		}
+		return fragment{first.start, prev.end}
+	case rpq.OpAlt:
+		s, t := b.newState(), b.newState()
+		for _, k := range e.Kids {
+			f := b.build(k)
+			b.eps(s, f.start)
+			b.eps(f.end, t)
+		}
+		return fragment{s, t}
+	case rpq.OpStar:
+		s, t := b.newState(), b.newState()
+		f := b.build(e.Kids[0])
+		b.eps(s, f.start)
+		b.eps(f.end, t)
+		b.eps(s, t)
+		b.eps(f.end, f.start)
+		return fragment{s, t}
+	case rpq.OpPlus:
+		s, t := b.newState(), b.newState()
+		f := b.build(e.Kids[0])
+		b.eps(s, f.start)
+		b.eps(f.end, t)
+		b.eps(f.end, f.start)
+		return fragment{s, t}
+	case rpq.OpOpt:
+		s, t := b.newState(), b.newState()
+		f := b.build(e.Kids[0])
+		b.eps(s, f.start)
+		b.eps(f.end, t)
+		b.eps(s, t)
+		return fragment{s, t}
+	}
+	panic(fmt.Sprintf("automaton: FromRegexp: unknown op %d", e.Op))
+}
+
+// Reverse returns the automaton recognising the reversed language with each
+// edge direction flipped, in linear time (paper §3.3 Case 2, citing Zhu &
+// Ko): transitions are flipped, Out and In swap, and start/final exchange
+// roles. It requires a single final state of weight 0, which holds for
+// Thompson-built automata before ε-removal.
+func (n *NFA) Reverse() (*NFA, error) {
+	if len(n.Finals) != 1 {
+		return nil, fmt.Errorf("automaton: Reverse: %d final states, want exactly 1 (reverse before RemoveEpsilon)", len(n.Finals))
+	}
+	var final int32
+	for s, w := range n.Finals {
+		if w != 0 {
+			return nil, fmt.Errorf("automaton: Reverse: final weight %d, want 0", w)
+		}
+		final = s
+	}
+	out := &NFA{
+		NumStates: n.NumStates,
+		Start:     final,
+		Finals:    map[int32]int32{n.Start: 0},
+		Trans:     make([]Transition, len(n.Trans)),
+	}
+	for i, t := range n.Trans {
+		t.From, t.To = t.To, t.From
+		t.Dir = t.Dir.Reverse()
+		out.Trans[i] = t
+	}
+	return out, nil
+}
+
+// Trim removes states that are not reachable from the start or cannot reach
+// a final state, renumbering the survivors. The start state is always kept.
+func (n *NFA) Trim() *NFA {
+	fwd := make([][]int32, n.NumStates)
+	bwd := make([][]int32, n.NumStates)
+	for _, t := range n.Trans {
+		fwd[t.From] = append(fwd[t.From], t.To)
+		bwd[t.To] = append(bwd[t.To], t.From)
+	}
+	reach := bfs(n.NumStates, []int32{n.Start}, fwd)
+	var finals []int32
+	for s := range n.Finals {
+		finals = append(finals, s)
+	}
+	coreach := bfs(n.NumStates, finals, bwd)
+
+	keep := make([]bool, n.NumStates)
+	keep[n.Start] = true
+	for s := int32(0); s < n.NumStates; s++ {
+		if reach[s] && coreach[s] {
+			keep[s] = true
+		}
+	}
+	remap := make([]int32, n.NumStates)
+	var count int32
+	for s := int32(0); s < n.NumStates; s++ {
+		if keep[s] {
+			remap[s] = count
+			count++
+		} else {
+			remap[s] = -1
+		}
+	}
+	out := &NFA{NumStates: count, Start: remap[n.Start], Finals: map[int32]int32{}}
+	for s, w := range n.Finals {
+		if keep[s] {
+			out.Finals[remap[s]] = w
+		}
+	}
+	for _, t := range n.Trans {
+		if keep[t.From] && keep[t.To] {
+			t.From, t.To = remap[t.From], remap[t.To]
+			out.Trans = append(out.Trans, t)
+		}
+	}
+	return out
+}
+
+func bfs(numStates int32, roots []int32, adj [][]int32) []bool {
+	seen := make([]bool, numStates)
+	queue := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range adj[s] {
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	return seen
+}

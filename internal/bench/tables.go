@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/l4all"
+	"omega/internal/yago"
+)
+
+func yagoStudy() []yago.QuerySpec { return yago.StudyQueries() }
+
+// Config parameterises the experiment drivers.
+type Config struct {
+	Scales   []l4all.Scale // L4All scales to include
+	Proto    Protocol
+	Opts     core.Options
+	Datasets *Datasets
+	// YagoBudget caps tuples for the YAGO APPROX runs, reproducing the
+	// paper's out-of-memory '?' entries (0 = unlimited).
+	YagoBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Scales) == 0 {
+		c.Scales = l4all.Scales()
+	}
+	c.Proto = c.Proto.withDefaults()
+	if c.Datasets == nil {
+		c.Datasets = NewDatasets(yago.Config{})
+	}
+	return c
+}
+
+func ms(d int64) string { return fmt.Sprintf("%.2f", float64(d)/1e6) }
+
+var studyModes = []automaton.Mode{automaton.Exact, automaton.Approx, automaton.Relax}
+
+// Fig2 renders Figure 2: characteristics of the L4All class hierarchies.
+func Fig2(w io.Writer) error {
+	o := l4all.Ontology()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Class hierarchy\tDepth\tAverage fan-out")
+	for _, root := range []string{"Episode", "Subject", "Occupation", "Education Qualification Level", "Industry Sector"} {
+		s := o.ClassHierarchyStats(root)
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\n", root, s.Depth, s.AvgFanOut)
+	}
+	return tw.Flush()
+}
+
+// Fig3 renders Figure 3: characteristics of the L4All data graphs.
+func Fig3(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, " ")
+	for _, s := range cfg.Scales {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Timelines")
+	for _, s := range cfg.Scales {
+		fmt.Fprintf(tw, "\t%d", s.Timelines())
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Nodes")
+	for _, s := range cfg.Scales {
+		g, _ := cfg.Datasets.L4All(s)
+		fmt.Fprintf(tw, "\t%d", g.NumNodes())
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Edges")
+	for _, s := range cfg.Scales {
+		g, _ := cfg.Datasets.L4All(s)
+		fmt.Fprintf(tw, "\t%d", g.NumEdges())
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// Fig5 renders Figure 5: result counts (with per-distance breakdowns) for
+// the study queries on each data graph.
+func Fig5(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, " ")
+	for _, q := range l4all.StudyQueries() {
+		fmt.Fprintf(tw, "\t%s", q.ID)
+	}
+	fmt.Fprintln(tw)
+	for _, s := range cfg.Scales {
+		g, ont := cfg.Datasets.L4All(s)
+		for _, mode := range studyModes {
+			fmt.Fprintf(tw, "%s: %s", s, modeName(mode))
+			breakdowns := make([]string, 0, len(l4all.StudyQueries()))
+			for _, q := range l4all.StudyQueries() {
+				m, err := Run(g, ont, s.String(), q.ID, q.Text, mode, cfg.Opts, Protocol{Runs: 2, BatchSize: cfg.Proto.BatchSize, MaxAnswers: cfg.Proto.MaxAnswers})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "\t%d", m.Answers)
+				breakdowns = append(breakdowns, m.DistBreakdown())
+			}
+			fmt.Fprintln(tw)
+			if mode != automaton.Exact {
+				fmt.Fprint(tw, " ")
+				for _, b := range breakdowns {
+					fmt.Fprintf(tw, "\t%s", b)
+				}
+				fmt.Fprintln(tw)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+func modeName(m automaton.Mode) string {
+	if m == automaton.Exact {
+		return "Exact"
+	}
+	return m.String()
+}
+
+// figTimes renders Figures 6–8: average execution time (ms) per query and
+// data graph for one mode.
+func figTimes(w io.Writer, cfg Config, mode automaton.Mode) error {
+	cfg = cfg.withDefaults()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "ms")
+	for _, q := range l4all.StudyQueries() {
+		fmt.Fprintf(tw, "\t%s", q.ID)
+	}
+	fmt.Fprintln(tw)
+	for _, s := range cfg.Scales {
+		g, ont := cfg.Datasets.L4All(s)
+		fmt.Fprintf(tw, "%s", s)
+		for _, q := range l4all.StudyQueries() {
+			m, err := Run(g, ont, s.String(), q.ID, q.Text, mode, cfg.Opts, cfg.Proto)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "\t%s", ms(m.Total.Nanoseconds()))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Fig6 renders Figure 6 (exact query execution times).
+func Fig6(w io.Writer, cfg Config) error { return figTimes(w, cfg, automaton.Exact) }
+
+// Fig7 renders Figure 7 (APPROX execution times, top-100 in batches of 10).
+func Fig7(w io.Writer, cfg Config) error { return figTimes(w, cfg, automaton.Approx) }
+
+// Fig8 renders Figure 8 (RELAX execution times, top-100 in batches of 10).
+func Fig8(w io.Writer, cfg Config) error { return figTimes(w, cfg, automaton.Relax) }
+
+// Fig10 renders Figure 10: YAGO result counts. APPROX runs under the
+// configured tuple budget, reproducing the '?' failures of the paper for
+// queries 4 and 5.
+func Fig10(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	g, ont := cfg.Datasets.YAGO()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, " ")
+	for _, q := range yagoStudy() {
+		fmt.Fprintf(tw, "\t%s", q.ID)
+	}
+	fmt.Fprintln(tw)
+	for _, mode := range studyModes {
+		opts := cfg.Opts
+		if mode == automaton.Approx && cfg.YagoBudget > 0 {
+			opts.MaxTuples = cfg.YagoBudget
+		}
+		fmt.Fprintf(tw, "%s", modeName(mode))
+		breakdowns := make([]string, 0, 8)
+		for _, q := range yagoStudy() {
+			m, err := Run(g, ont, "YAGO", q.ID, q.Text, mode, opts, Protocol{Runs: 2, BatchSize: cfg.Proto.BatchSize, MaxAnswers: cfg.Proto.MaxAnswers})
+			if err != nil {
+				return err
+			}
+			if m.Failed {
+				fmt.Fprint(tw, "\t?")
+				breakdowns = append(breakdowns, "(budget)")
+			} else {
+				fmt.Fprintf(tw, "\t%d", m.Answers)
+				breakdowns = append(breakdowns, m.DistBreakdown())
+			}
+		}
+		fmt.Fprintln(tw)
+		if mode != automaton.Exact {
+			fmt.Fprint(tw, " ")
+			for _, b := range breakdowns {
+				fmt.Fprintf(tw, "\t%s", b)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig11 renders Figure 11: YAGO execution times (ms).
+func Fig11(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	g, ont := cfg.Datasets.YAGO()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "ms")
+	for _, q := range yagoStudy() {
+		fmt.Fprintf(tw, "\t%s", q.ID)
+	}
+	fmt.Fprintln(tw)
+	for _, mode := range studyModes {
+		opts := cfg.Opts
+		if mode == automaton.Approx && cfg.YagoBudget > 0 {
+			// Baseline APPROX under the tuple budget, exactly as in Figure
+			// 10: queries whose intermediate results exhaust the budget
+			// print '?' with no timing, as in the paper.
+			opts.MaxTuples = cfg.YagoBudget
+		}
+		fmt.Fprintf(tw, "%s", modeName(mode))
+		for _, q := range yagoStudy() {
+			m, err := Run(g, ont, "YAGO", q.ID, q.Text, mode, opts, cfg.Proto)
+			if err != nil {
+				return err
+			}
+			if m.Failed {
+				fmt.Fprint(tw, "\t?")
+			} else {
+				fmt.Fprintf(tw, "\t%s", ms(m.Total.Nanoseconds()))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Opt1 renders the §4.3 distance-aware comparison: APPROX queries with and
+// without retrieval by distance.
+func Opt1(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "query\tdataset\tplain ms\tdistance-aware ms\tspeed-up")
+	type target struct {
+		dataset string
+		id      string
+		text    string
+	}
+	var targets []target
+	scale := cfg.Scales[len(cfg.Scales)-1]
+	for _, q := range l4all.StudyQueries() {
+		if q.ID == "Q3" || q.ID == "Q9" || q.ID == "Q8" {
+			targets = append(targets, target{scale.String(), q.ID, q.Text})
+		}
+	}
+	for _, q := range yagoStudy() {
+		if q.ID == "Q2" || q.ID == "Q3" {
+			targets = append(targets, target{"YAGO", q.ID, q.Text})
+		}
+	}
+	for _, t := range targets {
+		var g, ont = cfg.Datasets.YAGO()
+		if t.dataset != "YAGO" {
+			g, ont = cfg.Datasets.L4All(scale)
+		}
+		plainOpts := cfg.Opts
+		m1, err := Run(g, ont, t.dataset, t.id, t.text, automaton.Approx, plainOpts, cfg.Proto)
+		if err != nil {
+			return err
+		}
+		daOpts := cfg.Opts
+		daOpts.DistanceAware = true
+		m2, err := Run(g, ont, t.dataset, t.id, t.text, automaton.Approx, daOpts, cfg.Proto)
+		if err != nil {
+			return err
+		}
+		speedup := float64(m1.Total) / float64(m2.Total)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\n", t.id, t.dataset, ms(m1.Total.Nanoseconds()), ms(m2.Total.Nanoseconds()), speedup)
+	}
+	return tw.Flush()
+}
+
+// Opt2 renders the §4.3 alternation-by-disjunction comparison on YAGO Q9.
+func Opt2(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	g, ont := cfg.Datasets.YAGO()
+	var q9 struct{ ID, Text string }
+	for _, q := range yagoStudy() {
+		if q.ID == "Q9" {
+			q9.ID, q9.Text = q.ID, q.Text
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tms\tanswers")
+	plain := cfg.Opts
+	plain.DistanceAware = true
+	m1, err := Run(g, ont, "YAGO", q9.ID, q9.Text, automaton.Approx, plain, cfg.Proto)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "single automaton\t%s\t%d\n", ms(m1.Total.Nanoseconds()), m1.Answers)
+	disj := cfg.Opts
+	disj.Disjunction = true
+	m2, err := Run(g, ont, "YAGO", q9.ID, q9.Text, automaton.Approx, disj, cfg.Proto)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "disjunction of sub-automata\t%s\t%d\n", ms(m2.Total.Nanoseconds()), m2.Answers)
+	return tw.Flush()
+}

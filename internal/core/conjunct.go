@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"omega/internal/automaton"
+	"omega/internal/graph"
+	"omega/internal/ontology"
+	"omega/internal/rpq"
+)
+
+func packPair(v, n graph.NodeID) uint64 {
+	return uint64(uint32(v))<<32 | uint64(uint32(n))
+}
+
+// conjunctPlan is the reusable part of conjunct initialisation: compiled
+// automata (one per alternand when decomposing, else a single automaton for
+// the whole expression), Case 1 seeds, and the final-state annotation.
+// Evaluators are cheap to spin up from a plan, which is what the
+// distance-aware mode needs (it restarts evaluation at each ψ increment).
+type conjunctPlan struct {
+	g    *graph.Graph
+	ont  *ontology.Ontology
+	opts Options
+	mode automaton.Mode
+
+	auts     []*automaton.Compiled
+	seeds    []seed                 // Case 1 (nil for Case 3)
+	finalAnn map[graph.NodeID]int32 // nil = wildcard
+	case3    bool
+
+	swapped bool // Case 2: (?X,R,C) evaluated as (C,R−,?X)
+	sameVar bool // (?X,R,?X): keep only answers with Src == Dst
+}
+
+// planConjunct implements the case analysis of Open (§3.3).
+func planConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Options, decompose bool) (*conjunctPlan, error) {
+	if c.Expr == nil {
+		return nil, fmt.Errorf("core: conjunct %s has no expression", c)
+	}
+	p := &conjunctPlan{g: g, ont: ont, opts: opts, mode: c.Mode}
+
+	subj, obj := c.Subject, c.Object
+	reverse := false
+	if subj.IsVar && !obj.IsVar {
+		// Case 2: transform (?X, R, C) into (C, R−, ?X).
+		subj, obj = obj, subj
+		reverse = true
+		p.swapped = true
+	}
+	p.sameVar = subj.IsVar && obj.IsVar && subj.Name == obj.Name
+	p.case3 = subj.IsVar
+
+	relaxing := c.Mode == automaton.Relax || c.Mode == automaton.Flex
+
+	// Query rewriting (EXTENSION): algebraic simplification before automaton
+	// construction; the language is preserved, the automaton shrinks.
+	expr := c.Expr
+	if opts.Rewrite {
+		expr = rpq.Simplify(expr)
+	}
+
+	// Automata: one per top-level alternand when the disjunction strategy is
+	// active (§4.3), otherwise one for the whole expression. Reversal is
+	// applied per alternand: (R1|R2)− ≡ R1−|R2−.
+	exprs := []*rpq.Expr{expr}
+	if decompose {
+		exprs = expr.Alternands()
+	}
+	bopts := automaton.BuildOptions{
+		Mode:        c.Mode,
+		Edit:        opts.Edit,
+		RelaxCosts:  opts.Relax,
+		EnableRule2: opts.EnableRule2,
+		Reverse:     reverse,
+	}
+	for _, e := range exprs {
+		aut, err := automaton.Build(e, g, ont, bopts)
+		if err != nil {
+			return nil, err
+		}
+		p.auts = append(p.auts, aut)
+	}
+
+	// Rare-side heuristic (EXTENSION): for a (?X, R, ?Y) conjunct, compare
+	// the candidate seed population of R against that of R− and evaluate
+	// from the rarer end, flipping answers back afterwards.
+	if opts.RareSide && p.case3 && !p.sameVar {
+		ropts := bopts
+		ropts.Reverse = !ropts.Reverse
+		var revAuts []*automaton.Compiled
+		fwd, rev := 0, 0
+		for i, e := range exprs {
+			aut, err := automaton.Build(e, g, ont, ropts)
+			if err != nil {
+				return nil, err
+			}
+			revAuts = append(revAuts, aut)
+			fwd += p.seedEstimate(p.auts[i])
+			rev += p.seedEstimate(aut)
+		}
+		if rev < fwd {
+			p.auts = revAuts
+			p.swapped = !p.swapped
+		}
+	}
+
+	// Case 1 seeds: the constant's node; under RELAX, every class ancestor
+	// at cost k·β, most specific first (GetAncestors, Open line 8).
+	if !subj.IsVar {
+		if relaxing && ont != nil && ont.IsClass(subj.Name) {
+			for _, e := range ont.ClassAncestors(subj.Name) {
+				if node, ok := g.LookupNode(e.Name); ok {
+					p.seeds = append(p.seeds, seed{node: node, cost: int32(e.Dist) * opts.Relax.Beta})
+				}
+			}
+		} else if node, ok := g.LookupNode(subj.Name); ok {
+			p.seeds = append(p.seeds, seed{node: node})
+		}
+	}
+
+	// Final-state annotation: a constant object constrains accepted nodes;
+	// under RELAX a class constant also accepts its ancestors at k·β.
+	if !obj.IsVar {
+		p.finalAnn = map[graph.NodeID]int32{}
+		if relaxing && ont != nil && ont.IsClass(obj.Name) {
+			for _, e := range ont.ClassAncestors(obj.Name) {
+				if node, ok := g.LookupNode(e.Name); ok {
+					cost := int32(e.Dist) * opts.Relax.Beta
+					if old, dup := p.finalAnn[node]; !dup || cost < old {
+						p.finalAnn[node] = cost
+					}
+				}
+			}
+		} else if node, ok := g.LookupNode(obj.Name); ok {
+			p.finalAnn[node] = 0
+		}
+	}
+	return p, nil
+}
+
+// newEvaluator instantiates a fresh evaluator over automaton autIdx with
+// distance cap psi (-1 = unlimited).
+func (p *conjunctPlan) newEvaluator(autIdx int, psi int32) *evaluator {
+	aut := p.auts[autIdx]
+	ev := newEvaluator(p.g, aut, &p.opts)
+	ev.psi = psi
+	ev.finalAnn = p.finalAnn
+	if p.case3 {
+		ev.stream = p.buildStream(aut)
+	} else {
+		ev.seeds = p.seeds
+	}
+	return ev
+}
+
+// seedEstimate sizes the Case 3 seed population of a compiled automaton:
+// the summed length of the node lists the stream would draw from, plus the
+// whole graph when the start state is final. Used by the rare-side
+// heuristic; no streams are instantiated.
+func (p *conjunctPlan) seedEstimate(aut *automaton.Compiled) int {
+	total := 0
+	states := aut.NextStates(aut.Start)
+	for i := range states {
+		tr := &states[i]
+		switch tr.Kind {
+		case automaton.Sym:
+			for _, l := range tr.Labels {
+				switch tr.Dir {
+				case graph.Out:
+					total += len(p.g.Tails(l))
+				case graph.In:
+					total += len(p.g.Heads(l))
+				default:
+					total += len(p.g.Tails(l)) + len(p.g.Heads(l))
+				}
+			}
+		case automaton.Any:
+			total += p.g.NumEdges()
+		}
+	}
+	if _, final := aut.IsFinal(aut.Start); final {
+		total += p.g.NumNodes()
+	}
+	return total
+}
+
+// buildStream assembles the initial-node coroutine for Case 3 (§3.3,
+// GetAllNodesByLabel / GetAllStartNodesByLabel): node sets that possess an
+// edge matching some transition out of the initial state, retrieved via
+// Tails/Heads/TailsAndHeads, de-duplicated, and — when the initial state is
+// final — followed by every remaining node of the graph (step (iv)).
+func (p *conjunctPlan) buildStream(aut *automaton.Compiled) *graph.NodeStream {
+	var sources [][]graph.NodeID
+	addLabel := func(l graph.LabelID, dir graph.Direction) {
+		switch dir {
+		case graph.Out:
+			sources = append(sources, p.g.Tails(l))
+		case graph.In:
+			sources = append(sources, p.g.Heads(l))
+		default:
+			sources = append(sources, p.g.TailsAndHeads(l))
+		}
+	}
+	states := aut.NextStates(aut.Start)
+	for i := range states {
+		tr := &states[i]
+		switch tr.Kind {
+		case automaton.Sym:
+			for _, l := range tr.Labels {
+				addLabel(l, tr.Dir)
+			}
+		case automaton.Any:
+			for l := 0; l < p.g.NumLabels(); l++ {
+				addLabel(graph.LabelID(l), tr.Dir)
+			}
+		}
+	}
+	_, startFinal := aut.IsFinal(aut.Start)
+	return graph.NewNodeStream(p.g, sources, startFinal)
+}
+
+// emptyIterator yields nothing.
+type emptyIterator struct{}
+
+func (emptyIterator) Next() (Answer, bool, error) { return Answer{}, false, nil }
+
+// swapIterator undoes the Case 2 transformation: the underlying evaluator
+// produced (C, x) pairs for (C, R−, ?X); the conjunct's subject binding is x.
+type swapIterator struct{ it Iterator }
+
+func (s swapIterator) Next() (Answer, bool, error) {
+	a, ok, err := s.it.Next()
+	if ok {
+		a.Src, a.Dst = a.Dst, a.Src
+	}
+	return a, ok, err
+}
+
+func (s swapIterator) Stats() Stats { return statsOf(s.it) }
+
+// sameVarIterator keeps only reflexive answers, for conjuncts of the form
+// (?X, R, ?X).
+type sameVarIterator struct{ it Iterator }
+
+func (s sameVarIterator) Next() (Answer, bool, error) {
+	for {
+		a, ok, err := s.it.Next()
+		if !ok || err != nil || a.Src == a.Dst {
+			return a, ok, err
+		}
+	}
+}
+
+func (s sameVarIterator) Stats() Stats { return statsOf(s.it) }
+
+func statsOf(it Iterator) Stats {
+	if sr, ok := it.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
+// OpenConjunct initialises evaluation of a single conjunct (the paper's Open
+// procedure) and returns an iterator over its answers in non-decreasing
+// distance from the original conjunct.
+func OpenConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Options) (Iterator, error) {
+	opts = opts.withDefaults()
+	if (c.Mode == automaton.Relax || c.Mode == automaton.Flex) && ont == nil {
+		return nil, fmt.Errorf("core: %v requires an ontology", c.Mode)
+	}
+
+	decompose := opts.Disjunction && len(c.Expr.Alternands()) > 1
+	plan, err := planConjunct(g, ont, c, opts, decompose)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.case3 && len(plan.seeds) == 0 {
+		// The constant subject (after any Case 2 swap) names no node.
+		return emptyIterator{}, nil
+	}
+
+	phi := opts.phi(c.Mode)
+	maxPsi := opts.MaxPsi
+	if maxPsi <= 0 {
+		maxPsi = 16 * phi
+	}
+
+	var it Iterator
+	switch {
+	case decompose:
+		it = newDisjunction(plan, phi, maxPsi)
+	case opts.DistanceAware && c.Mode != automaton.Exact:
+		it = newDistanceAware(func(psi int32) *evaluator { return plan.newEvaluator(0, psi) }, phi, maxPsi)
+	default:
+		it = plan.newEvaluator(0, -1)
+	}
+	if plan.sameVar {
+		it = sameVarIterator{it}
+	}
+	if plan.swapped {
+		it = swapIterator{it}
+	}
+	return it, nil
+}

@@ -1,0 +1,215 @@
+// Package core implements Omega's query evaluation layer (paper §3.3–3.4):
+// conjunct initialisation (Open), incremental ranked retrieval (GetNext /
+// Succ) over the product of a weighted automaton and the data graph, the
+// distance-aware and alternation-by-disjunction optimisations of §4.3, and
+// the ranked join for multi-conjunct queries.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"omega/internal/automaton"
+	"omega/internal/dstruct"
+	"omega/internal/rpq"
+)
+
+// ErrTupleBudget is returned when evaluation exceeds Options.MaxTuples. It
+// models the out-of-memory failures the paper reports for YAGO queries 4 and
+// 5 under APPROX (Figure 10's '?') as a clean, recoverable error.
+var ErrTupleBudget = errors.New("core: tuple budget exceeded")
+
+// Term is one endpoint of a conjunct: a variable or a constant node label.
+type Term struct {
+	IsVar bool
+	Name  string // variable name without '?', or the constant's node label
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{IsVar: true, Name: name} }
+
+// Const returns a constant term.
+func Const(label string) Term { return Term{Name: label} }
+
+// String implements fmt.Stringer.
+func (t Term) String() string {
+	if t.IsVar {
+		return "?" + t.Name
+	}
+	return t.Name
+}
+
+// Conjunct is one body atom (X, R, Y) of a CRP query, optionally prefixed by
+// APPROX or RELAX (§2).
+type Conjunct struct {
+	Subject Term
+	Expr    *rpq.Expr
+	Object  Term
+	Mode    automaton.Mode
+}
+
+// String implements fmt.Stringer.
+func (c Conjunct) String() string {
+	prefix := ""
+	if c.Mode != automaton.Exact {
+		prefix = c.Mode.String() + " "
+	}
+	return fmt.Sprintf("%s(%s, %s, %s)", prefix, c.Subject, c.Expr, c.Object)
+}
+
+// Query is a conjunctive regular path query (§2): head variables projected
+// from the join of the body conjuncts.
+type Query struct {
+	Head      []string
+	Conjuncts []Conjunct
+}
+
+// Validate checks that the query is well formed: at least one conjunct, and
+// every head variable bound in the body.
+func (q *Query) Validate() error {
+	if len(q.Conjuncts) == 0 {
+		return errors.New("core: query has no conjuncts")
+	}
+	bound := map[string]bool{}
+	for _, c := range q.Conjuncts {
+		if c.Expr == nil {
+			return errors.New("core: conjunct with nil expression")
+		}
+		if c.Subject.IsVar {
+			bound[c.Subject.Name] = true
+		}
+		if c.Object.IsVar {
+			bound[c.Object.Name] = true
+		}
+	}
+	if len(q.Head) == 0 {
+		return errors.New("core: query has an empty head")
+	}
+	for _, h := range q.Head {
+		if !bound[h] {
+			return fmt.Errorf("core: head variable ?%s not bound in the body", h)
+		}
+	}
+	return nil
+}
+
+// Options configures evaluation. The zero value reproduces the paper's
+// baseline configuration (unit costs, batches of 100, no optimisations).
+type Options struct {
+	// Edit costs for APPROX; zero value means unit costs.
+	Edit automaton.EditCosts
+	// Relax costs for RELAX; zero value means unit costs.
+	Relax automaton.RelaxCosts
+	// EnableRule2 turns on RELAX rule (ii) (domain/range relaxation),
+	// which the paper's study leaves off.
+	EnableRule2 bool
+	// BatchSize is the number of initial nodes retrieved per coroutine
+	// batch in Open's Case 3 (§3.3); 0 means the paper's default of 100.
+	BatchSize int
+	// DistanceAware enables §4.3's "retrieving answers by distance": a
+	// cost cap ψ stepped by the smallest operation cost φ, re-evaluating
+	// from scratch at each increment.
+	DistanceAware bool
+	// MaxPsi caps the ψ stepping (distance-aware mode only); 0 means 16·φ.
+	// Answers beyond MaxPsi are not returned in distance-aware mode.
+	MaxPsi int32
+	// Disjunction enables §4.3's "replacing alternation by disjunction":
+	// a top-level alternation is decomposed into sub-automata evaluated
+	// distance-phase by distance-phase, cheapest-first.
+	Disjunction bool
+	// MaxTuples bounds the number of tuples ever added to D_R; evaluation
+	// returns ErrTupleBudget beyond it. 0 means unlimited.
+	MaxTuples int
+	// NoFinalFirst disables the final-tuples-first pop policy (ablation;
+	// the paper credits the policy with earlier answers and fewer
+	// memory exhaustions, §3.3).
+	NoFinalFirst bool
+	// NoSuccCache disables reuse of NeighboursByEdge results across
+	// identical consecutive labels in Succ (ablation of the U cache, §3.4).
+	NoSuccCache bool
+	// NoBatching seeds all initial nodes up front instead of in batches
+	// (ablation of the Open/GetNext coroutines).
+	NoBatching bool
+	// RareSide (EXTENSION; the paper lists "leveraging rare labels as in
+	// [Koschmieder & Leser]" as future work) evaluates a (?X, R, ?Y)
+	// conjunct from whichever end of R has fewer candidate start nodes,
+	// using the reversed automaton when the object side is rarer.
+	RareSide bool
+	// Rewrite (EXTENSION; the paper lists query rewriting as future work)
+	// applies language-preserving algebraic simplification to each
+	// conjunct's path expression before automaton construction.
+	Rewrite bool
+	// SpillThreshold (EXTENSION; the paper's future-work "disk-based data
+	// structures to guarantee termination of APPROX queries with large
+	// intermediate results"): when positive, D_R keeps at most this many
+	// tuples resident and spills cold distance buckets to temporary files.
+	SpillThreshold int
+	// SpillDir overrides the directory for spill files (default: the
+	// system temporary directory).
+	SpillDir string
+	// HashRankJoin evaluates multi-conjunct queries with a left-deep
+	// cascade of HRJN-style hash rank joins instead of the round-based
+	// ranked join. Both produce answers in non-decreasing total distance.
+	HashRankJoin bool
+	// ReorderConjuncts builds the query tree by greedily ordering
+	// conjuncts: constant-anchored conjuncts first, then conjuncts
+	// connected to already-bound variables (§3's query-tree construction;
+	// the paper does not specify its ordering, so this is our planner).
+	ReorderConjuncts bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Edit == (automaton.EditCosts{}) {
+		o.Edit = automaton.DefaultEditCosts()
+	}
+	if o.Relax == (automaton.RelaxCosts{}) {
+		o.Relax = automaton.DefaultRelaxCosts()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 100
+	}
+	return o
+}
+
+// phi returns the smallest non-zero operation cost for the mode (§4.3's φ).
+func (o Options) phi(mode automaton.Mode) int32 {
+	switch mode {
+	case automaton.Approx:
+		return o.Edit.MinCost()
+	case automaton.Relax:
+		return o.Relax.MinCost()
+	case automaton.Flex:
+		e, r := o.Edit.MinCost(), o.Relax.MinCost()
+		if r < e {
+			return r
+		}
+		return e
+	default:
+		return 1
+	}
+}
+
+// Answer is one conjunct answer: bindings for the conjunct's subject and
+// object, at the given distance from the original conjunct.
+type Answer = dstruct.Answer
+
+// Iterator yields conjunct answers in non-decreasing distance. After it
+// reports ok=false or an error, further calls keep doing so.
+type Iterator interface {
+	Next() (Answer, bool, error)
+}
+
+// Stats exposes evaluation counters for the performance study.
+type Stats struct {
+	TuplesAdded   int
+	TuplesPopped  int
+	VisitedSize   int
+	Phases        int // distance-aware restarts (1 when not distance-aware)
+	NeighborCalls int
+	CacheHits     int // Succ U-cache reuses
+}
+
+// StatsReporter is implemented by iterators that can report Stats.
+type StatsReporter interface {
+	Stats() Stats
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"omega/internal/automaton"
+)
+
+// Heterogeneous operation costs must still agree with the reference (plain
+// mode: the §4.3 strategies only guarantee band-granular ordering there).
+func TestQuickCustomEditCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1212))
+	ont := testOnt()
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, ont)
+		opts := Options{
+			Edit: automaton.EditCosts{
+				Insert:     int32(1 + rng.Intn(3)),
+				Delete:     int32(1 + rng.Intn(3)),
+				Substitute: int32(1 + rng.Intn(3)),
+			},
+		}
+		re := []string{"p", "p.q", "p|q"}[rng.Intn(3)]
+		c := conj([]string{"?X", "n0"}[rng.Intn(2)], re, "?Y", automaton.Approx)
+		checkEquivalence(t, g, ont, c, opts, false, 0)
+	}
+}
+
+func TestQuickCustomRelaxCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1313))
+	ont := testOnt()
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, ont)
+		opts := Options{
+			Relax: automaton.RelaxCosts{Beta: int32(1 + rng.Intn(4)), Gamma: int32(1 + rng.Intn(4))},
+		}
+		re := []string{"p", "q", "type-", "p.q"}[rng.Intn(4)]
+		c := conj([]string{"?X", "C1", "n0"}[rng.Intn(3)], re, "?Y", automaton.Relax)
+		checkEquivalence(t, g, ont, c, opts, false, 0)
+	}
+}
+
+// Frozen graphs and plans are safe for concurrent readers: many goroutines
+// evaluating against the same graph must neither race nor disagree.
+func TestConcurrentEvaluation(t *testing.T) {
+	g, ont := tinyGraph(t)
+	c := conj("?X", "p.p|q", "?Y", automaton.Approx)
+
+	it, err := OpenConjunct(g, ont, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := answersAsMap(t, drain(t, it, 1<<20))
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			it, err := OpenConjunct(g, ont, c, Options{})
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			got := map[uint64]int32{}
+			for {
+				a, ok, err := it.Next()
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !ok {
+					break
+				}
+				got[packPair(a.Src, a.Dst)] = a.Dist
+			}
+			if len(got) != len(baseline) {
+				errs <- "answer sets diverged across goroutines"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

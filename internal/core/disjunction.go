@@ -1,0 +1,134 @@
+package core
+
+import "sort"
+
+// disjunction implements §4.3's "replacing alternation by disjunction": the
+// NFA for R = R1|R2|… is decomposed into sub-automata NFA_i. Distance-0
+// answers are computed by evaluating the sub-automata in default order,
+// recording the answer count n_{0,i} per sub-automaton; the answers at
+// distance kφ are then computed by evaluating the sub-automata in increasing
+// n_{(k−1)φ,i} order, so cheap branches run first and a caller that stops
+// after the top k answers never pays for the expensive branches.
+//
+// Answers stream out as each sub-automaton produces them. Within a distance
+// phase every new answer has distance in (ψ−φ, ψ]; with uniform operation
+// costs (the study's configuration) that band is the single value ψ, so the
+// stream stays globally non-decreasing.
+type disjunction struct {
+	plan   *conjunctPlan
+	phi    int32
+	maxPsi int32
+
+	psi        int32
+	prevCounts []int // answers per sub in the previous phase
+	counts     []int // answers per sub in the current phase
+	order      []int
+	oi         int
+	cur        *evaluator
+	emitted    map[uint64]struct{}
+	anyPruned  bool
+	done       bool
+	stats      Stats
+}
+
+func newDisjunction(plan *conjunctPlan, phi, maxPsi int32) *disjunction {
+	d := &disjunction{
+		plan:       plan,
+		phi:        phi,
+		maxPsi:     maxPsi,
+		prevCounts: make([]int, len(plan.auts)),
+		emitted:    map[uint64]struct{}{},
+	}
+	d.startPhase()
+	return d
+}
+
+// startPhase orders the sub-automata by the previous phase's answer counts
+// (stable, so the first phase and ties use default order).
+func (d *disjunction) startPhase() {
+	n := len(d.plan.auts)
+	d.order = make([]int, n)
+	for i := range d.order {
+		d.order[i] = i
+	}
+	sort.SliceStable(d.order, func(i, j int) bool {
+		return d.prevCounts[d.order[i]] < d.prevCounts[d.order[j]]
+	})
+	d.counts = make([]int, n)
+	d.oi = 0
+	d.cur = nil
+	d.anyPruned = false
+	d.stats.Phases++
+}
+
+// Next streams the next answer.
+func (d *disjunction) Next() (Answer, bool, error) {
+	for {
+		if d.done {
+			return Answer{}, false, nil
+		}
+		if d.cur == nil {
+			if d.oi >= len(d.order) {
+				// Phase complete: stop if nothing was pruned anywhere (no
+				// higher ψ can add answers) or the cap is reached.
+				d.prevCounts = d.counts
+				if !d.anyPruned || d.psi >= d.maxPsi {
+					d.done = true
+					continue
+				}
+				d.psi += d.phi
+				d.startPhase()
+				continue
+			}
+			d.cur = d.plan.newEvaluator(d.order[d.oi], d.psi)
+		}
+		a, ok, err := d.cur.Next()
+		if err != nil {
+			d.done = true
+			return Answer{}, false, err
+		}
+		if !ok {
+			if d.cur.pruned {
+				d.anyPruned = true
+			}
+			d.accumulate(d.cur)
+			d.cur = nil
+			d.oi++
+			continue
+		}
+		k := packPair(a.Src, a.Dst)
+		if _, dup := d.emitted[k]; dup {
+			continue // found in an earlier phase or by an earlier branch
+		}
+		d.emitted[k] = struct{}{}
+		d.counts[d.order[d.oi]]++
+		return a, true, nil
+	}
+}
+
+func (d *disjunction) accumulate(ev *evaluator) {
+	s := ev.Stats()
+	d.stats.TuplesAdded += s.TuplesAdded
+	d.stats.TuplesPopped += s.TuplesPopped
+	d.stats.NeighborCalls += s.NeighborCalls
+	d.stats.CacheHits += s.CacheHits
+	if s.VisitedSize > d.stats.VisitedSize {
+		d.stats.VisitedSize = s.VisitedSize
+	}
+}
+
+// Stats implements StatsReporter.
+func (d *disjunction) Stats() Stats {
+	s := d.stats
+	if d.cur != nil {
+		cs := d.cur.Stats()
+		s.TuplesAdded += cs.TuplesAdded
+		s.TuplesPopped += cs.TuplesPopped
+		s.NeighborCalls += cs.NeighborCalls
+		s.CacheHits += cs.CacheHits
+		if cs.VisitedSize > s.VisitedSize {
+			s.VisitedSize = cs.VisitedSize
+		}
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package core
+
+// distanceAware implements §4.3's "retrieving answers by distance": a
+// current maximum cost ψ starts at 0; no tuple with a larger cost is ever
+// added to or removed from D_R. When more answers are needed, ψ is
+// incremented by φ (the smallest edit/relaxation cost) and evaluation
+// restarts from the beginning. The paper notes this is unsuitable when
+// high-cost answers are wanted; MaxPsi bounds the stepping.
+type distanceAware struct {
+	build   func(psi int32) *evaluator
+	phi     int32
+	maxPsi  int32
+	psi     int32
+	cur     *evaluator
+	emitted map[uint64]struct{}
+	done    bool
+	stats   Stats
+}
+
+func newDistanceAware(build func(psi int32) *evaluator, phi, maxPsi int32) *distanceAware {
+	return &distanceAware{build: build, phi: phi, maxPsi: maxPsi, emitted: map[uint64]struct{}{}}
+}
+
+// Next returns the next answer in non-decreasing distance. Phase ψ finds
+// every answer of distance ≤ ψ, so answers new to this phase have distance
+// in (ψ−φ, ψ]: emission stays globally monotone.
+func (d *distanceAware) Next() (Answer, bool, error) {
+	for !d.done {
+		if d.cur == nil {
+			d.cur = d.build(d.psi)
+			d.stats.Phases++
+		}
+		a, ok, err := d.cur.Next()
+		if err != nil {
+			d.done = true
+			return Answer{}, false, err
+		}
+		if ok {
+			k := packPair(a.Src, a.Dst)
+			if _, dup := d.emitted[k]; dup {
+				continue // rediscovered at this or a higher ψ
+			}
+			d.emitted[k] = struct{}{}
+			return a, true, nil
+		}
+		d.accumulate(d.cur)
+		// Exhausted at this ψ. If nothing was pruned, no higher ψ can add
+		// answers; otherwise step ψ unless the cap is reached.
+		if !d.cur.pruned || d.psi >= d.maxPsi {
+			d.done = true
+			break
+		}
+		d.psi += d.phi
+		d.cur = nil
+	}
+	return Answer{}, false, nil
+}
+
+func (d *distanceAware) accumulate(ev *evaluator) {
+	s := ev.Stats()
+	d.stats.TuplesAdded += s.TuplesAdded
+	d.stats.TuplesPopped += s.TuplesPopped
+	d.stats.NeighborCalls += s.NeighborCalls
+	d.stats.CacheHits += s.CacheHits
+	if s.VisitedSize > d.stats.VisitedSize {
+		d.stats.VisitedSize = s.VisitedSize
+	}
+}
+
+// Stats implements StatsReporter.
+func (d *distanceAware) Stats() Stats {
+	s := d.stats
+	if d.cur != nil {
+		cs := d.cur.Stats()
+		s.TuplesAdded += cs.TuplesAdded
+		s.TuplesPopped += cs.TuplesPopped
+		s.NeighborCalls += cs.NeighborCalls
+		s.CacheHits += cs.CacheHits
+		if cs.VisitedSize > s.VisitedSize {
+			s.VisitedSize = cs.VisitedSize
+		}
+	}
+	return s
+}

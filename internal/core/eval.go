@@ -1,0 +1,280 @@
+package core
+
+import (
+	"omega/internal/automaton"
+	"omega/internal/dstruct"
+	"omega/internal/graph"
+)
+
+// seed is an initial tuple source for Case 1 of Open: a start node and the
+// relaxation cost of reaching it (0 for the constant itself, k·β for a class
+// ancestor at k subclass steps).
+type seed struct {
+	node graph.NodeID
+	cost int32
+}
+
+// evaluator runs GetNext/Succ (§3.4) for one compiled automaton over one
+// graph. It emits answers (v, n, d) in non-decreasing d. A non-negative psi
+// caps tuple distances (the §4.3 distance-aware mode); suppressions are
+// recorded in pruned so the driver knows whether raising ψ could reveal more.
+type evaluator struct {
+	g    *graph.Graph
+	aut  *automaton.Compiled
+	opts *Options
+
+	dr      dstruct.TupleDict
+	visited *dstruct.Visited
+	answers *dstruct.Answers
+
+	// Case 1 seeds (constant subject), or a stream for Case 3.
+	seeds  []seed
+	stream *graph.NodeStream
+	batch  []graph.NodeID
+
+	// finalAnn is the final-state annotation: nil matches any node
+	// (variable object); otherwise it maps each allowed node to the extra
+	// cost of accepting it (0 for the constant, k·β for RELAX ancestors).
+	finalAnn map[graph.NodeID]int32
+
+	psi        int32 // -1 = unlimited
+	pruned     bool
+	seeded     bool
+	streamDone bool
+	failed     error
+
+	stats Stats
+}
+
+func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evaluator {
+	ev := &evaluator{
+		g:       g,
+		aut:     aut,
+		opts:    opts,
+		visited: dstruct.NewVisited(),
+		answers: dstruct.NewAnswers(),
+		psi:     -1,
+	}
+	switch {
+	case opts.SpillThreshold > 0:
+		sd, err := dstruct.NewSpillDict(opts.SpillThreshold, opts.SpillDir, opts.NoFinalFirst)
+		if err != nil {
+			ev.failed = err
+			ev.dr = dstruct.NewDict() // placeholder; evaluation fails immediately
+		} else {
+			ev.dr = sd
+		}
+	case opts.NoFinalFirst:
+		ev.dr = dstruct.NewDictNoFinalFirst()
+	default:
+		ev.dr = dstruct.NewDict()
+	}
+	return ev
+}
+
+// finish releases dictionary resources (spill files). Evaluation calls it
+// when the answer stream ends or fails; abandoning an evaluator mid-stream
+// with spilling enabled leaves its temp files until process exit.
+func (ev *evaluator) finish() {
+	if ev.dr != nil {
+		_ = ev.dr.Close()
+	}
+}
+
+// add inserts a tuple, enforcing the tuple budget.
+func (ev *evaluator) add(t dstruct.Tuple) {
+	if ev.failed != nil {
+		return
+	}
+	if ev.opts.MaxTuples > 0 && ev.dr.Adds() >= ev.opts.MaxTuples {
+		ev.failed = ErrTupleBudget
+		return
+	}
+	ev.dr.Add(t)
+	ev.stats.TuplesAdded++
+}
+
+// seedInitial performs the D_R initialisation of Open (§3.3).
+func (ev *evaluator) seedInitial() {
+	ev.seeded = true
+	if ev.stream != nil {
+		ev.refill()
+		return
+	}
+	// Case 1: the paper adds ancestors most-specific-first; with the LIFO
+	// lists of D_R that means inserting in reverse so the most specific
+	// (cheapest) seed pops first when costs tie.
+	for i := len(ev.seeds) - 1; i >= 0; i-- {
+		s := ev.seeds[i]
+		if ev.psi >= 0 && s.cost > ev.psi {
+			ev.pruned = true
+			continue
+		}
+		ev.add(dstruct.Tuple{V: s.node, N: s.node, S: ev.aut.Start, D: s.cost})
+	}
+}
+
+// refill pulls the next batch of initial nodes from the Case 3 coroutine
+// (GetNext lines 15–17).
+func (ev *evaluator) refill() {
+	if ev.stream == nil || ev.streamDone {
+		return
+	}
+	if ev.batch == nil {
+		size := ev.opts.BatchSize
+		if ev.opts.NoBatching {
+			size = ev.g.NumNodes() + 1
+		}
+		ev.batch = make([]graph.NodeID, size)
+	}
+	n := ev.stream.Next(ev.batch)
+	if n == 0 {
+		ev.streamDone = true
+		return
+	}
+	for _, node := range ev.batch[:n] {
+		ev.add(dstruct.Tuple{V: node, N: node, S: ev.aut.Start})
+	}
+}
+
+// annCost returns the extra cost of accepting node n at a final state, and
+// whether the final annotation matches n at all.
+func (ev *evaluator) annCost(n graph.NodeID) (int32, bool) {
+	if ev.finalAnn == nil {
+		return 0, true
+	}
+	c, ok := ev.finalAnn[n]
+	return c, ok
+}
+
+// Next is GetNext (§3.4): it returns the next answer in non-decreasing
+// distance, or ok=false when no more answers exist (within ψ, if set).
+func (ev *evaluator) Next() (Answer, bool, error) {
+	if ev.failed != nil {
+		ev.finish()
+		return Answer{}, false, ev.failed
+	}
+	if !ev.seeded {
+		ev.seedInitial()
+	}
+	for {
+		if ev.failed != nil {
+			ev.finish()
+			return Answer{}, false, ev.failed
+		}
+		// Lines 15–17: when no distance-0 tuples remain and more initial
+		// nodes are available, pull the next batch. Required for ranked
+		// emission: any unseeded node could still yield a distance-0 answer.
+		if ev.stream != nil && !ev.streamDone {
+			if md, ok := ev.dr.MinDistance(); !ok || md > 0 {
+				ev.refill()
+				continue
+			}
+		}
+		t, ok := ev.dr.Remove()
+		if !ok {
+			if err := ev.dr.Err(); err != nil {
+				ev.failed = err
+				ev.finish()
+				return Answer{}, false, err
+			}
+			ev.finish()
+			return Answer{}, false, nil
+		}
+		ev.stats.TuplesPopped++
+
+		if t.Final {
+			if ev.answers.Add(t.V, t.N, t.D) {
+				return Answer{Src: t.V, Dst: t.N, Dist: t.D}, true, nil
+			}
+			continue
+		}
+		if !ev.visited.Add(t.V, t.N, t.S) {
+			continue
+		}
+		ev.expand(t)
+		if w, final := ev.aut.IsFinal(t.S); final {
+			if extra, match := ev.annCost(t.N); match && !ev.answers.Has(t.V, t.N) {
+				d := t.D + w + extra
+				if ev.psi >= 0 && d > ev.psi {
+					ev.pruned = true
+				} else {
+					ev.add(dstruct.Tuple{V: t.V, N: t.N, S: t.S, D: d, Final: true})
+				}
+			}
+		}
+	}
+}
+
+// expand is Succ (§3.4): follow every compiled transition of state t.S from
+// node t.N, reusing the neighbour set U across runs of identical labels.
+func (ev *evaluator) expand(t dstruct.Tuple) {
+	var cache []graph.NodeID
+	cacheGroup := int32(-1)
+	states := ev.aut.NextStates(t.S)
+	for i := range states {
+		tr := &states[i]
+		var u []graph.NodeID
+		if !ev.opts.NoSuccCache && tr.Group == cacheGroup && cacheGroup >= 0 {
+			u = cache
+			ev.stats.CacheHits++
+		} else {
+			u = ev.neighboursByEdge(t.N, tr)
+			cache, cacheGroup = u, tr.Group
+		}
+		for _, m := range u {
+			if ev.visited.Contains(t.V, m, tr.To) {
+				continue
+			}
+			d := t.D + tr.Cost
+			if ev.psi >= 0 && d > ev.psi {
+				ev.pruned = true
+				continue
+			}
+			ev.add(dstruct.Tuple{V: t.V, N: m, S: tr.To, D: d})
+		}
+	}
+	ev.stats.VisitedSize = ev.visited.Len()
+}
+
+// neighboursByEdge retrieves the neighbours of n reachable over the
+// transition's label set and direction (§3.4): for a wildcard it retrieves
+// all incident edges (the generic 'edge' type plus type edges of §3.2); a
+// TargetClass constraint keeps only the constrained landing node.
+func (ev *evaluator) neighboursByEdge(n graph.NodeID, tr *automaton.CTrans) []graph.NodeID {
+	ev.stats.NeighborCalls++
+	var out []graph.NodeID
+	switch tr.Kind {
+	case automaton.Sym:
+		for _, l := range tr.Labels {
+			if tr.Dir == graph.Both {
+				out = append(out, ev.g.Neighbors(n, l, graph.Out)...)
+				out = append(out, ev.g.Neighbors(n, l, graph.In)...)
+			} else {
+				out = append(out, ev.g.Neighbors(n, l, tr.Dir)...)
+			}
+		}
+	case automaton.Any:
+		ev.g.EachIncident(n, tr.Dir, func(_ graph.LabelID, m graph.NodeID) bool {
+			out = append(out, m)
+			return true
+		})
+	}
+	if tr.Target != graph.InvalidNode {
+		kept := out[:0]
+		for _, m := range out {
+			if m == tr.Target {
+				kept = append(kept, m)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// Stats implements StatsReporter.
+func (ev *evaluator) Stats() Stats {
+	s := ev.stats
+	s.Phases = 1
+	return s
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"omega/internal/automaton"
+)
+
+func TestExplainSingleConjunct(t *testing.T) {
+	g, ont := tinyGraph(t)
+	q := &Query{Head: []string{"X"}, Conjuncts: []Conjunct{conj("a", "p.p", "?X", automaton.Approx)}}
+	out, err := ExplainQuery(g, ont, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"case 1", "APPROX", "states", "seed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainCase2(t *testing.T) {
+	g, ont := tinyGraph(t)
+	q := &Query{Head: []string{"X"}, Conjuncts: []Conjunct{conj("?X", "p", "c", automaton.Exact)}}
+	out, err := ExplainQuery(g, ont, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "case 2 rewrite") {
+		t.Errorf("explain missing case-2 note:\n%s", out)
+	}
+}
+
+func TestExplainCase3AndStrategies(t *testing.T) {
+	g, ont := tinyGraph(t)
+	q := &Query{Head: []string{"X", "Y"}, Conjuncts: []Conjunct{conj("?X", "p|q", "?Y", automaton.Approx)}}
+	out, err := ExplainQuery(g, ont, q, Options{
+		Disjunction: true, DistanceAware: true, RareSide: true, Rewrite: true,
+		SpillThreshold: 100, MaxTuples: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"case 3", "sub-automaton 2", "alternation-by-disjunction",
+		"distance-aware", "rewrite", "spill at 100", "tuple budget 5000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainJoinAndPlan(t *testing.T) {
+	g, ont := tinyGraph(t)
+	q := &Query{
+		Head: []string{"X"},
+		Conjuncts: []Conjunct{
+			conj("?X", "p", "?Y", automaton.Exact),
+			conj("a", "q", "?X", automaton.Exact),
+		},
+	}
+	out, err := ExplainQuery(g, ont, q, Options{ReorderConjuncts: true, HashRankJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HRJN") {
+		t.Errorf("explain missing join strategy:\n%s", out)
+	}
+	if !strings.Contains(out, "query tree (planned order): [1 0]") {
+		t.Errorf("explain missing planned order:\n%s", out)
+	}
+}
+
+func TestExplainInvalidQuery(t *testing.T) {
+	g, ont := tinyGraph(t)
+	q := &Query{Head: []string{"Z"}, Conjuncts: []Conjunct{conj("?X", "p", "?Y", automaton.Exact)}}
+	if _, err := ExplainQuery(g, ont, q, Options{}); err == nil {
+		t.Fatal("invalid query explained without error")
+	}
+}

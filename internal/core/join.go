@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"omega/internal/graph"
+	"omega/internal/ontology"
+)
+
+// QueryAnswer is one row of a CRP query result: node bindings for the head
+// variables, at the given total distance (sum of conjunct distances).
+type QueryAnswer struct {
+	Head  []string
+	Nodes []graph.NodeID
+	Dist  int32
+}
+
+// Binding returns the node bound to head variable name, or InvalidNode.
+func (a QueryAnswer) Binding(name string) graph.NodeID {
+	for i, h := range a.Head {
+		if h == name {
+			return a.Nodes[i]
+		}
+	}
+	return graph.InvalidNode
+}
+
+// QueryIterator yields query answers in non-decreasing total distance.
+type QueryIterator interface {
+	Next() (QueryAnswer, bool, error)
+}
+
+// OpenQuery initialises evaluation of a CRP query: each conjunct is opened
+// with OpenConjunct and multi-conjunct queries are combined with a ranked
+// join that emits answers in non-decreasing total distance (§3).
+func OpenQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options) (QueryIterator, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ReorderConjuncts && len(q.Conjuncts) > 1 {
+		q = applyPlan(q, planQueryTree(q))
+	}
+	its := make([]Iterator, len(q.Conjuncts))
+	for i, c := range q.Conjuncts {
+		it, err := OpenConjunct(g, ont, c, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: conjunct %d: %w", i+1, err)
+		}
+		its[i] = it
+	}
+	if len(q.Conjuncts) == 1 {
+		return &singleConjunct{q: q, it: its[0], emitted: map[string]struct{}{}}, nil
+	}
+	if opts.HashRankJoin {
+		return newHRJNQuery(q, its)
+	}
+	return newRankedJoin(q, its), nil
+}
+
+func projKey(nodes []graph.NodeID) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		b.WriteString(strconv.Itoa(int(n)))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// singleConjunct adapts a conjunct iterator directly (no join machinery), so
+// single-conjunct queries — the whole of the paper's performance study —
+// stream answers with no buffering. Projections that collapse answers (e.g.
+// head (?X) over conjunct (?X,R,?Y)) are de-duplicated, keeping the first
+// (minimum-distance) occurrence.
+type singleConjunct struct {
+	q       *Query
+	it      Iterator
+	emitted map[string]struct{}
+}
+
+func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
+	c := s.q.Conjuncts[0]
+	for {
+		a, ok, err := s.it.Next()
+		if !ok || err != nil {
+			return QueryAnswer{}, false, err
+		}
+		nodes := make([]graph.NodeID, len(s.q.Head))
+		valid := true
+		for i, h := range s.q.Head {
+			switch {
+			case c.Subject.IsVar && c.Subject.Name == h:
+				nodes[i] = a.Src
+			case c.Object.IsVar && c.Object.Name == h:
+				nodes[i] = a.Dst
+			default:
+				valid = false
+			}
+		}
+		if !valid {
+			return QueryAnswer{}, false, fmt.Errorf("core: head variable not bound by conjunct")
+		}
+		k := projKey(nodes)
+		if _, dup := s.emitted[k]; dup {
+			continue
+		}
+		s.emitted[k] = struct{}{}
+		return QueryAnswer{Head: s.q.Head, Nodes: nodes, Dist: a.Dist}, true, nil
+	}
+}
+
+// Stats implements StatsReporter.
+func (s *singleConjunct) Stats() Stats { return statsOf(s.it) }
+
+// peekIterator adds one-answer lookahead to an Iterator.
+type peekIterator struct {
+	it   Iterator
+	buf  Answer
+	has  bool
+	done bool
+	err  error
+}
+
+func (p *peekIterator) peek() (Answer, bool, error) {
+	if p.err != nil || p.done {
+		return Answer{}, false, p.err
+	}
+	if !p.has {
+		a, ok, err := p.it.Next()
+		if err != nil {
+			p.err = err
+			return Answer{}, false, err
+		}
+		if !ok {
+			p.done = true
+			return Answer{}, false, nil
+		}
+		p.buf, p.has = a, true
+	}
+	return p.buf, true, nil
+}
+
+func (p *peekIterator) consume() Answer {
+	p.has = false
+	return p.buf
+}
+
+// rankedJoin combines n ≥ 2 conjunct iterators, emitting joined answers in
+// non-decreasing total distance. It works in rounds: in round D it pulls
+// every conjunct's answers through distance D (each iterator is itself
+// non-decreasing) and enumerates the binding-compatible combinations whose
+// distances sum to exactly D. Conjunct distances are small integers in
+// practice (unit operation costs), so the rounds advance quickly.
+type rankedJoin struct {
+	q    *Query
+	its  []*peekIterator
+	byD  []map[int32][]Answer
+	maxD []int32
+	dMax int32 // largest per-conjunct distance seen anywhere
+
+	d       int32
+	queue   []QueryAnswer
+	qi      int
+	emitted map[string]struct{}
+	done    bool
+}
+
+func newRankedJoin(q *Query, its []Iterator) *rankedJoin {
+	rj := &rankedJoin{
+		q:       q,
+		emitted: map[string]struct{}{},
+	}
+	for _, it := range its {
+		rj.its = append(rj.its, &peekIterator{it: it})
+		rj.byD = append(rj.byD, map[int32][]Answer{})
+		rj.maxD = append(rj.maxD, -1)
+	}
+	return rj
+}
+
+func (rj *rankedJoin) Next() (QueryAnswer, bool, error) {
+	for {
+		if rj.qi < len(rj.queue) {
+			a := rj.queue[rj.qi]
+			rj.qi++
+			return a, true, nil
+		}
+		if rj.done {
+			return QueryAnswer{}, false, nil
+		}
+		if err := rj.runRound(); err != nil {
+			rj.done = true
+			return QueryAnswer{}, false, err
+		}
+	}
+}
+
+func (rj *rankedJoin) runRound() error {
+	D := rj.d
+	rj.d++
+
+	// Pull every conjunct through distance D.
+	allDone := true
+	for i, p := range rj.its {
+		for {
+			a, ok, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if a.Dist > D {
+				allDone = false
+				break
+			}
+			p.consume()
+			rj.byD[i][a.Dist] = append(rj.byD[i][a.Dist], a)
+			if a.Dist > rj.maxD[i] {
+				rj.maxD[i] = a.Dist
+			}
+			if a.Dist > rj.dMax {
+				rj.dMax = a.Dist
+			}
+		}
+	}
+
+	// Enumerate combinations with total distance exactly D.
+	rj.queue = rj.queue[:0]
+	rj.qi = 0
+	binding := map[string]graph.NodeID{}
+	rj.combine(0, D, binding)
+	sort.Slice(rj.queue, func(i, j int) bool {
+		a, b := rj.queue[i], rj.queue[j]
+		for k := range a.Nodes {
+			if a.Nodes[k] != b.Nodes[k] {
+				return a.Nodes[k] < b.Nodes[k]
+			}
+		}
+		return false
+	})
+
+	// Termination: every iterator exhausted and D beyond the largest
+	// possible total.
+	if allDone {
+		var maxTotal int32
+		for _, m := range rj.maxD {
+			if m < 0 {
+				// A conjunct produced no answers at all: the join is empty.
+				rj.done = true
+				return nil
+			}
+			maxTotal += m
+		}
+		if D >= maxTotal {
+			rj.done = true
+		}
+	}
+	return nil
+}
+
+// combine recursively assigns each conjunct an answer whose distances sum to
+// exactly `remaining`, with consistent variable bindings.
+func (rj *rankedJoin) combine(i int, remaining int32, binding map[string]graph.NodeID) {
+	if i == len(rj.its) {
+		if remaining != 0 {
+			return
+		}
+		nodes := make([]graph.NodeID, len(rj.q.Head))
+		for k, h := range rj.q.Head {
+			nodes[k] = binding[h]
+		}
+		key := projKey(nodes)
+		if _, dup := rj.emitted[key]; dup {
+			return
+		}
+		rj.emitted[key] = struct{}{}
+		rj.queue = append(rj.queue, QueryAnswer{Head: rj.q.Head, Nodes: nodes, Dist: rj.d - 1})
+		return
+	}
+	c := rj.q.Conjuncts[i]
+	for dist, answers := range rj.byD[i] {
+		if dist > remaining {
+			continue
+		}
+		for _, a := range answers {
+			var set []string
+			ok := true
+			if c.Subject.IsVar {
+				if old, bound := binding[c.Subject.Name]; bound {
+					ok = old == a.Src
+				} else {
+					binding[c.Subject.Name] = a.Src
+					set = append(set, c.Subject.Name)
+				}
+			}
+			if ok && c.Object.IsVar {
+				if old, bound := binding[c.Object.Name]; bound {
+					ok = old == a.Dst
+				} else {
+					binding[c.Object.Name] = a.Dst
+					set = append(set, c.Object.Name)
+				}
+			}
+			if ok {
+				rj.combine(i+1, remaining-dist, binding)
+			}
+			for _, name := range set {
+				delete(binding, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+// planQueryTree orders the conjuncts of a query for evaluation (§3's "query
+// tree" construction; the ordering itself is unspecified in the paper, so
+// this planner uses a standard greedy strategy):
+//
+//  1. conjuncts anchored by constants come first (two constants before one,
+//     one before none) — they produce the fewest bindings;
+//  2. among the remainder, prefer conjuncts sharing a variable with the
+//     already-planned prefix, so every join step has a key (no cross
+//     products until unavoidable);
+//  3. ties break by body position (stability).
+//
+// It returns the permutation of conjunct indices.
+func planQueryTree(q *Query) []int {
+	n := len(q.Conjuncts)
+	anchor := func(c Conjunct) int {
+		score := 0
+		if c.Subject.IsVar {
+			score++
+		}
+		if c.Object.IsVar {
+			score++
+		}
+		return score
+	}
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	var order []int
+	for len(order) < n {
+		best := -1
+		bestConnected := false
+		bestScore := 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			c := q.Conjuncts[i]
+			connected := len(bound) == 0 // the first pick has no prefix to connect to
+			if c.Subject.IsVar && bound[c.Subject.Name] {
+				connected = true
+			}
+			if c.Object.IsVar && bound[c.Object.Name] {
+				connected = true
+			}
+			score := anchor(c)
+			better := false
+			switch {
+			case best < 0:
+				better = true
+			case connected != bestConnected:
+				better = connected
+			case score != bestScore:
+				better = score < bestScore
+			}
+			if better {
+				best, bestConnected, bestScore = i, connected, score
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		c := q.Conjuncts[best]
+		if c.Subject.IsVar {
+			bound[c.Subject.Name] = true
+		}
+		if c.Object.IsVar {
+			bound[c.Object.Name] = true
+		}
+	}
+	return order
+}
+
+// applyPlan returns a query with conjuncts permuted by order (head
+// unchanged). Answers are order-independent; only evaluation cost changes.
+func applyPlan(q *Query, order []int) *Query {
+	out := &Query{Head: q.Head, Conjuncts: make([]Conjunct, len(order))}
+	for i, idx := range order {
+		out.Conjuncts[i] = q.Conjuncts[idx]
+	}
+	return out
+}

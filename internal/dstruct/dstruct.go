@@ -1,0 +1,207 @@
+// Package dstruct provides the evaluation data structures of §3.3–3.4,
+// substituting for the C5 Generic Collection library used by the paper's
+// implementation: the tuple dictionary D_R keyed by (distance, final-flag)
+// with O(1) insertion and removal at the head of each list, the hashed
+// visited set with O(1) lookup, and the answer registry answers_R.
+package dstruct
+
+import (
+	"container/heap"
+
+	"omega/internal/graph"
+)
+
+// Tuple is a traversal tuple (v, n, s, d, f): visiting node n in automaton
+// state s at distance d, having started from node v; f marks 'final' tuples,
+// which are answers waiting to be emitted.
+type Tuple struct {
+	V, N  graph.NodeID
+	S     int32
+	D     int32
+	Final bool
+}
+
+// Dict is the dictionary D_R. Keys order by distance ascending; at equal
+// distance, final tuples are removed before non-final ones — the refinement
+// §3.3 reports as returning answers earlier and rescuing queries that
+// previously exhausted memory. Within a key, tuples are a LIFO stack,
+// matching the paper's add/remove at the head of a linked list.
+type Dict struct {
+	lists        map[int64][]Tuple
+	keys         keyHeap
+	size         int
+	adds         int // total insertions over the Dict's lifetime
+	noFinalFirst bool
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{lists: make(map[int64][]Tuple)}
+}
+
+// NewDictNoFinalFirst returns a dictionary that orders purely by distance,
+// ignoring the final flag (ablation of the §3.3 refinement).
+func NewDictNoFinalFirst() *Dict {
+	return &Dict{lists: make(map[int64][]Tuple), noFinalFirst: true}
+}
+
+// key packs (distance, final) so that smaller distances sort first and, at
+// equal distance, final (bit 0 = 0) sorts before non-final.
+func key(d int32, final bool) int64 {
+	k := int64(d) << 1
+	if !final {
+		k |= 1
+	}
+	return k
+}
+
+func (dd *Dict) keyFor(t Tuple) int64 {
+	if dd.noFinalFirst {
+		return key(t.D, false)
+	}
+	return key(t.D, t.Final)
+}
+
+// Add inserts t.
+func (dd *Dict) Add(t Tuple) {
+	k := dd.keyFor(t)
+	list, ok := dd.lists[k]
+	if !ok || len(list) == 0 {
+		heap.Push(&dd.keys, k)
+	}
+	dd.lists[k] = append(list, t)
+	dd.size++
+	dd.adds++
+}
+
+// Remove pops the tuple with minimal key (distance first, final preferred).
+func (dd *Dict) Remove() (Tuple, bool) {
+	for dd.keys.Len() > 0 {
+		k := dd.keys[0]
+		list := dd.lists[k]
+		if len(list) == 0 {
+			heap.Pop(&dd.keys)
+			delete(dd.lists, k)
+			continue
+		}
+		t := list[len(list)-1]
+		dd.lists[k] = list[:len(list)-1]
+		dd.size--
+		return t, true
+	}
+	return Tuple{}, false
+}
+
+// Len returns the number of stored tuples.
+func (dd *Dict) Len() int { return dd.size }
+
+// Adds returns the lifetime number of insertions (the memory-pressure metric
+// used to emulate the paper's out-of-memory failures).
+func (dd *Dict) Adds() int { return dd.adds }
+
+// MinDistance returns the smallest distance present, if any. GetNext uses it
+// to decide when to pull the next batch of initial nodes ("no distance 0
+// tuples in D_R", §3.4 lines 15–17).
+func (dd *Dict) MinDistance() (int32, bool) {
+	for dd.keys.Len() > 0 {
+		k := dd.keys[0]
+		if len(dd.lists[k]) == 0 {
+			heap.Pop(&dd.keys)
+			delete(dd.lists, k)
+			continue
+		}
+		return int32(k >> 1), true
+	}
+	return 0, false
+}
+
+type keyHeap []int64
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	k := old[n-1]
+	*h = old[:n-1]
+	return k
+}
+
+// Visited is the hashed set of processed (v, n, s) triples (visited_R).
+type Visited struct {
+	m map[visKey]struct{}
+}
+
+type visKey struct {
+	vn uint64
+	s  int32
+}
+
+// NewVisited returns an empty visited set.
+func NewVisited() *Visited { return &Visited{m: make(map[visKey]struct{})} }
+
+func pack(v, n graph.NodeID) uint64 {
+	return uint64(uint32(v))<<32 | uint64(uint32(n))
+}
+
+// Add inserts (v, n, s), reporting whether it was newly added. The paper
+// executes the membership test and the insertion "as a single step" (§3.4).
+func (vs *Visited) Add(v, n graph.NodeID, s int32) bool {
+	k := visKey{pack(v, n), s}
+	if _, ok := vs.m[k]; ok {
+		return false
+	}
+	vs.m[k] = struct{}{}
+	return true
+}
+
+// Contains reports whether (v, n, s) has been processed.
+func (vs *Visited) Contains(v, n graph.NodeID, s int32) bool {
+	_, ok := vs.m[visKey{pack(v, n), s}]
+	return ok
+}
+
+// Len returns the number of stored triples.
+func (vs *Visited) Len() int { return len(vs.m) }
+
+// Answer is one produced conjunct answer (v, n, d).
+type Answer struct {
+	Src, Dst graph.NodeID
+	Dist     int32
+}
+
+// Answers is the registry answers_R: it remembers every (v, n) pair already
+// emitted so the same pair is never returned at a higher distance.
+type Answers struct {
+	m     map[uint64]int32
+	order []Answer
+}
+
+// NewAnswers returns an empty registry.
+func NewAnswers() *Answers { return &Answers{m: make(map[uint64]int32)} }
+
+// Has reports whether (v, n) was already emitted at some distance.
+func (a *Answers) Has(v, n graph.NodeID) bool {
+	_, ok := a.m[pack(v, n)]
+	return ok
+}
+
+// Add records (v, n, d) if the pair is new, reporting whether it was added.
+func (a *Answers) Add(v, n graph.NodeID, d int32) bool {
+	k := pack(v, n)
+	if _, ok := a.m[k]; ok {
+		return false
+	}
+	a.m[k] = d
+	a.order = append(a.order, Answer{Src: v, Dst: n, Dist: d})
+	return true
+}
+
+// Len returns the number of emitted answers.
+func (a *Answers) Len() int { return len(a.order) }
+
+// List returns the answers in emission order. The slice aliases internal
+// storage and must not be modified.
+func (a *Answers) List() []Answer { return a.order }

@@ -1,0 +1,298 @@
+package dstruct
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"omega/internal/graph"
+)
+
+// TupleDict is the D_R access surface shared by the in-memory Dict and the
+// disk-spilling SpillDict.
+type TupleDict interface {
+	Add(Tuple)
+	Remove() (Tuple, bool)
+	Len() int
+	Adds() int
+	MinDistance() (int32, bool)
+	// Err returns the first I/O error encountered (always nil for Dict).
+	Err() error
+	// Close releases any on-disk resources (no-op for Dict).
+	Close() error
+}
+
+// Err implements TupleDict for the in-memory Dict.
+func (dd *Dict) Err() error { return nil }
+
+// Close implements TupleDict for the in-memory Dict.
+func (dd *Dict) Close() error { return nil }
+
+var _ TupleDict = (*Dict)(nil)
+var _ TupleDict = (*SpillDict)(nil)
+
+const tupleBytes = 4 + 4 + 4 + 4 + 1 // v, n, s, d, final
+
+func encodeTuple(buf []byte, t Tuple) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(t.V))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t.N))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.S))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.D))
+	buf[16] = 0
+	if t.Final {
+		buf[16] = 1
+	}
+}
+
+func decodeTuple(buf []byte) Tuple {
+	return Tuple{
+		V:     graph.NodeID(binary.LittleEndian.Uint32(buf[0:])),
+		N:     graph.NodeID(binary.LittleEndian.Uint32(buf[4:])),
+		S:     int32(binary.LittleEndian.Uint32(buf[8:])),
+		D:     int32(binary.LittleEndian.Uint32(buf[12:])),
+		Final: buf[16] == 1,
+	}
+}
+
+// SpillDict is a D_R that bounds resident memory: when the number of
+// in-memory tuples exceeds the threshold, the buckets with the largest keys
+// (the tuples that will be popped last) are appended to per-bucket files and
+// reloaded when they become the minimum. This implements the paper's
+// future-work item of using "disk-based data structures to guarantee the
+// termination of APPROX queries with large intermediate results" (§6): the
+// search degrades to disk instead of exhausting memory.
+type SpillDict struct {
+	lists        map[int64][]Tuple
+	onDisk       map[int64]int // spilled tuple count per key
+	keys         keyHeap       // all keys with any resident or spilled tuples
+	dir          string
+	ownDir       bool
+	threshold    int
+	resident     int
+	size         int
+	adds         int
+	spills       int // buckets spilled (for tests and stats)
+	noFinalFirst bool
+	err          error
+}
+
+// NewSpillDict creates a spilling dictionary keeping at most threshold
+// tuples resident. dir is the spill directory; when empty, a fresh directory
+// under the system temp dir is created (and removed by Close).
+func NewSpillDict(threshold int, dir string, noFinalFirst bool) (*SpillDict, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("dstruct: NewSpillDict: threshold must be positive")
+	}
+	own := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "omega-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("dstruct: NewSpillDict: %w", err)
+		}
+		dir = d
+		own = true
+	}
+	return &SpillDict{
+		lists:        map[int64][]Tuple{},
+		onDisk:       map[int64]int{},
+		dir:          dir,
+		ownDir:       own,
+		threshold:    threshold,
+		noFinalFirst: noFinalFirst,
+	}, nil
+}
+
+func (sd *SpillDict) keyFor(t Tuple) int64 {
+	if sd.noFinalFirst {
+		return key(t.D, false)
+	}
+	return key(t.D, t.Final)
+}
+
+func (sd *SpillDict) path(k int64) string {
+	return filepath.Join(sd.dir, fmt.Sprintf("bucket-%d.spill", k))
+}
+
+func (sd *SpillDict) fail(err error) {
+	if sd.err == nil {
+		sd.err = err
+	}
+}
+
+// Err returns the first I/O error encountered.
+func (sd *SpillDict) Err() error { return sd.err }
+
+// Add inserts t, spilling cold buckets if the resident bound is exceeded.
+func (sd *SpillDict) Add(t Tuple) {
+	if sd.err != nil {
+		return
+	}
+	k := sd.keyFor(t)
+	if _, tracked := sd.lists[k]; !tracked {
+		if sd.onDisk[k] == 0 {
+			heap.Push(&sd.keys, k)
+		}
+		sd.lists[k] = nil
+	}
+	sd.lists[k] = append(sd.lists[k], t)
+	sd.resident++
+	sd.size++
+	sd.adds++
+	if sd.resident > sd.threshold {
+		sd.spillColdest()
+	}
+}
+
+// spillColdest writes the largest-keyed resident buckets to disk until the
+// resident count is within the threshold, never touching the minimum key
+// (pops must stay cheap).
+func (sd *SpillDict) spillColdest() {
+	min, ok := sd.minKey()
+	if !ok {
+		return
+	}
+	for sd.resident > sd.threshold/2 {
+		var largest int64 = -1
+		for k, list := range sd.lists {
+			if k != min && len(list) > 0 && k > largest {
+				largest = k
+			}
+		}
+		if largest < 0 {
+			return // everything resident is the hot bucket
+		}
+		if err := sd.spillBucket(largest); err != nil {
+			sd.fail(err)
+			return
+		}
+	}
+}
+
+func (sd *SpillDict) spillBucket(k int64) error {
+	list := sd.lists[k]
+	f, err := os.OpenFile(sd.path(k), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("dstruct: spill: %w", err)
+	}
+	buf := make([]byte, tupleBytes*len(list))
+	for i, t := range list {
+		encodeTuple(buf[i*tupleBytes:], t)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("dstruct: spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dstruct: spill: %w", err)
+	}
+	sd.onDisk[k] += len(list)
+	sd.resident -= len(list)
+	sd.spills++
+	delete(sd.lists, k)
+	return nil
+}
+
+// load re-reads a spilled bucket into memory and removes its file.
+func (sd *SpillDict) load(k int64) error {
+	path := sd.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("dstruct: load: %w", err)
+	}
+	n := len(data) / tupleBytes
+	list := sd.lists[k]
+	for i := 0; i < n; i++ {
+		list = append(list, decodeTuple(data[i*tupleBytes:]))
+	}
+	sd.lists[k] = list
+	sd.resident += n
+	sd.onDisk[k] = 0
+	delete(sd.onDisk, k)
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("dstruct: load: %w", err)
+	}
+	return nil
+}
+
+func (sd *SpillDict) minKey() (int64, bool) {
+	for sd.keys.Len() > 0 {
+		k := sd.keys[0]
+		if len(sd.lists[k]) == 0 && sd.onDisk[k] == 0 {
+			heap.Pop(&sd.keys)
+			delete(sd.lists, k)
+			continue
+		}
+		return k, true
+	}
+	return 0, false
+}
+
+// Remove pops the minimal tuple, reloading its bucket from disk if needed.
+func (sd *SpillDict) Remove() (Tuple, bool) {
+	if sd.err != nil {
+		return Tuple{}, false
+	}
+	k, ok := sd.minKey()
+	if !ok {
+		return Tuple{}, false
+	}
+	if len(sd.lists[k]) == 0 && sd.onDisk[k] > 0 {
+		if err := sd.load(k); err != nil {
+			sd.fail(err)
+			return Tuple{}, false
+		}
+	}
+	list := sd.lists[k]
+	t := list[len(list)-1]
+	sd.lists[k] = list[:len(list)-1]
+	sd.resident--
+	sd.size--
+	return t, true
+}
+
+// Len returns the number of stored tuples (resident + spilled).
+func (sd *SpillDict) Len() int { return sd.size }
+
+// Adds returns the lifetime number of insertions.
+func (sd *SpillDict) Adds() int { return sd.adds }
+
+// Spills returns the number of bucket spill operations performed.
+func (sd *SpillDict) Spills() int { return sd.spills }
+
+// Resident returns the number of tuples currently held in memory.
+func (sd *SpillDict) Resident() int { return sd.resident }
+
+// MinDistance returns the smallest distance present, if any.
+func (sd *SpillDict) MinDistance() (int32, bool) {
+	if sd.err != nil {
+		return 0, false
+	}
+	k, ok := sd.minKey()
+	if !ok {
+		return 0, false
+	}
+	return int32(k >> 1), true
+}
+
+// Close removes all spill files (and the spill directory if this dictionary
+// created it).
+func (sd *SpillDict) Close() error {
+	var first error
+	for k, n := range sd.onDisk {
+		if n > 0 {
+			if err := os.Remove(sd.path(k)); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	sd.onDisk = map[int64]int{}
+	if sd.ownDir {
+		if err := os.Remove(sd.dir); err != nil && first == nil {
+			first = err
+		}
+		sd.ownDir = false
+	}
+	return first
+}

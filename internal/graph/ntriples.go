@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadNTriples reads a (line-based) N-Triples document into a Builder,
+// creating nodes for subjects and objects and edges labelled by the
+// predicate. This is the import path for RDF data like the paper's YAGO
+// dumps (§4.2). Handling follows the data model of §2:
+//
+//   - IRIs are shortened to their local name (after the last '#' or '/'),
+//     so <http://yago/gradFrom> becomes the edge label gradFrom;
+//   - rdf:type becomes the reserved `type` label;
+//   - literals become nodes labelled with their lexical form (language tags
+//     and datatypes are dropped);
+//   - blank nodes keep their _:name (the paper notes blank nodes are
+//     discouraged for linked data but they are accepted here);
+//   - comment lines (#) and blank lines are skipped.
+//
+// The option keepIRIs disables local-name shortening.
+func LoadNTriples(r io.Reader, b *Builder, keepIRIs bool) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	added := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, p, o, err := parseNTriple(text)
+		if err != nil {
+			return added, fmt.Errorf("graph: LoadNTriples: line %d: %w", line, err)
+		}
+		subj := termLabel(s, keepIRIs)
+		pred := termLabel(p, keepIRIs)
+		obj := termLabel(o, keepIRIs)
+		if pred == "rdf:type" || strings.EqualFold(pred, "type") ||
+			p == "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>" {
+			pred = TypeLabel
+		}
+		if err := b.AddTriple(subj, pred, obj); err != nil {
+			return added, fmt.Errorf("graph: LoadNTriples: line %d: %w", line, err)
+		}
+		added++
+	}
+	if err := sc.Err(); err != nil {
+		return added, fmt.Errorf("graph: LoadNTriples: %w", err)
+	}
+	return added, nil
+}
+
+// parseNTriple splits one statement into its three terms. Terms are IRIs
+// (<...>), blank nodes (_:name) or literals ("..." with optional suffixes).
+func parseNTriple(s string) (subj, pred, obj string, err error) {
+	rest := s
+	subj, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", err
+	}
+	pred, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", err
+	}
+	obj, rest, err = readTerm(rest)
+	if err != nil {
+		return "", "", "", err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." && rest != "" {
+		return "", "", "", fmt.Errorf("trailing content %q", rest)
+	}
+	return subj, pred, obj, nil
+}
+
+func readTerm(s string) (term, rest string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", "", fmt.Errorf("missing term")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated IRI in %q", s)
+		}
+		return s[:end+1], s[end+1:], nil
+	case '_':
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return s[:end], s[end:], nil
+	case '"':
+		// Scan to the closing quote, honouring backslash escapes.
+		i := 1
+		for i < len(s) {
+			switch s[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				// Consume optional @lang or ^^<datatype> suffix.
+				j := i + 1
+				if j < len(s) && s[j] == '@' {
+					for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+						j++
+					}
+				} else if j+1 < len(s) && s[j] == '^' && s[j+1] == '^' {
+					k := strings.IndexByte(s[j:], '>')
+					if k < 0 {
+						return "", "", fmt.Errorf("unterminated datatype in %q", s)
+					}
+					j += k + 1
+				}
+				return s[:j], s[j:], nil
+			}
+			i++
+		}
+		return "", "", fmt.Errorf("unterminated literal in %q", s)
+	default:
+		return "", "", fmt.Errorf("unexpected term start %q", s)
+	}
+}
+
+// termLabel converts a parsed term into a node/edge label.
+func termLabel(term string, keepIRIs bool) string {
+	switch {
+	case strings.HasPrefix(term, "<") && strings.HasSuffix(term, ">"):
+		iri := term[1 : len(term)-1]
+		if keepIRIs {
+			return iri
+		}
+		if i := strings.LastIndexAny(iri, "#/"); i >= 0 && i+1 < len(iri) {
+			return iri[i+1:]
+		}
+		return iri
+	case strings.HasPrefix(term, "\""):
+		// Strip quotes and suffix, unescape the common sequences.
+		end := strings.LastIndexByte(term, '"')
+		body := term[1:end]
+		body = strings.NewReplacer(`\"`, `"`, `\\`, `\`, `\n`, "\n", `\t`, "\t").Replace(body)
+		return body
+	default:
+		return term // blank node
+	}
+}

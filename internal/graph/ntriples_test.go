@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://example.org/alice> <http://example.org/gradFrom> <http://example.org/Oxford> .
+<http://example.org/Oxford> <http://example.org/isLocatedIn> <http://example.org/UK> .
+<http://example.org/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/Person> .
+`
+	b := NewBuilder()
+	n, err := LoadNTriples(strings.NewReader(doc), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d triples, want 3", n)
+	}
+	g := b.Freeze()
+	alice, ok := g.LookupNode("alice")
+	if !ok {
+		t.Fatal("alice missing (IRI shortening failed)")
+	}
+	grad, ok := g.Label("gradFrom")
+	if !ok {
+		t.Fatal("gradFrom label missing")
+	}
+	oxford, _ := g.LookupNode("Oxford")
+	if !g.HasEdge(alice, grad, oxford) {
+		t.Fatal("gradFrom edge missing")
+	}
+	// rdf:type collapses onto the reserved type label.
+	if g.TypeID() == InvalidLabel {
+		t.Fatal("rdf:type not mapped to the type label")
+	}
+	person, _ := g.LookupNode("Person")
+	if !g.HasEdge(alice, g.TypeID(), person) {
+		t.Fatal("type edge missing")
+	}
+}
+
+func TestLoadNTriplesKeepIRIs(t *testing.T) {
+	doc := `<http://e/x> <http://e/p> <http://e/y> .`
+	b := NewBuilder()
+	if _, err := LoadNTriples(strings.NewReader(doc), b, true); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Freeze()
+	if _, ok := g.LookupNode("http://e/x"); !ok {
+		t.Fatal("full IRI not preserved with keepIRIs")
+	}
+	if _, ok := g.Label("http://e/p"); !ok {
+		t.Fatal("full predicate IRI not preserved")
+	}
+}
+
+func TestLoadNTriplesLiterals(t *testing.T) {
+	doc := strings.Join([]string{
+		`<http://e/x> <http://e/name> "Alice Smith" .`,
+		`<http://e/x> <http://e/note> "says \"hi\"" .`,
+		`<http://e/x> <http://e/label> "Bonjour"@fr .`,
+		`<http://e/x> <http://e/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+	}, "\n")
+	b := NewBuilder()
+	n, err := LoadNTriples(strings.NewReader(doc), b, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("loaded %d, want 4", n)
+	}
+	g := b.Freeze()
+	for _, label := range []string{"Alice Smith", `says "hi"`, "Bonjour", "42"} {
+		if _, ok := g.LookupNode(label); !ok {
+			t.Errorf("literal node %q missing", label)
+		}
+	}
+}
+
+func TestLoadNTriplesBlankNodes(t *testing.T) {
+	doc := `_:b1 <http://e/p> _:b2 .`
+	b := NewBuilder()
+	if _, err := LoadNTriples(strings.NewReader(doc), b, false); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Freeze()
+	if _, ok := g.LookupNode("_:b1"); !ok {
+		t.Fatal("blank node subject missing")
+	}
+}
+
+func TestLoadNTriplesErrors(t *testing.T) {
+	cases := []string{
+		`<http://e/x> <http://e/p> .`,                // missing object
+		`<http://e/x <http://e/p> <http://e/y> .`,    // unterminated IRI
+		`<http://e/x> <http://e/p> "unterminated .`,  // unterminated literal
+		`<http://e/x> <http://e/p> <http://e/y> . x`, // trailing garbage
+		`nonsense`, // not a term
+	}
+	for i, c := range cases {
+		b := NewBuilder()
+		if _, err := LoadNTriples(strings.NewReader(c), b, false); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestLoadNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	doc := "\n# only comments\n\n<http://e/a> <http://e/p> <http://e/b> .\n\n"
+	b := NewBuilder()
+	n, err := LoadNTriples(strings.NewReader(doc), b, false)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v, want 1,nil", n, err)
+	}
+}

@@ -1,0 +1,462 @@
+// Package l4all generates the L4All case-study workload of §4.1: lifelong
+// learner timelines — chronological sequences of work and education episodes
+// — classified against the five class hierarchies of Figure 2, scaled to the
+// four data graphs L1–L4 of Figure 3 by the paper's sibling-class duplication
+// scheme.
+//
+// The original 5 real + 16 realistic seed timelines are not published, so
+// this package synthesises 21 deterministic seed timelines with the same
+// structure (episodes linked by 'next' and 'prereq'; each episode linked to a
+// job or qualification event, classified by Occupation + Industry Sector or
+// Subject + Education Qualification Level). As in the paper's data, edges
+// whose target is a class node are materialised to all ancestor classes
+// ("the degree of the class nodes increases linearly ... owing to transitive
+// closure").
+package l4all
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omega/internal/graph"
+	"omega/internal/ontology"
+)
+
+// Scale selects one of the four data graphs of Figure 3.
+type Scale int
+
+const (
+	// L1 has 143 timelines.
+	L1 Scale = iota
+	// L2 has 1,201 timelines.
+	L2
+	// L3 has 5,221 timelines.
+	L3
+	// L4 has 11,416 timelines.
+	L4
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case L4:
+		return "L4"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Timelines returns the number of timelines at each scale (Figure 3).
+func (s Scale) Timelines() int {
+	switch s {
+	case L1:
+		return 143
+	case L2:
+		return 1201
+	case L3:
+		return 5221
+	case L4:
+		return 11416
+	}
+	return 0
+}
+
+// Scales lists all four scales in increasing order.
+func Scales() []Scale { return []Scale{L1, L2, L3, L4} }
+
+// --- ontology (Figure 2) ---------------------------------------------------
+
+// Episode hierarchy: depth 2, average fan-out (2+3+3)/3 = 2.67 — exactly the
+// figure reported in the paper.
+var episodeTree = map[string][]string{
+	"Episode":           {"Work Episode", "Education Episode"},
+	"Work Episode":      {"Full-time Episode", "Part-time Episode", "Voluntary Episode"},
+	"Education Episode": {"School Episode", "College Episode", "University Episode"},
+}
+
+// Subject hierarchy: depth 2, average fan-out (8+8)/2 = 8.
+var subjectTree = map[string][]string{
+	"Subject": {
+		"Mathematical and Computer Sciences", "Engineering",
+		"Business and Administrative Studies", "Languages",
+		"Creative Arts and Design", "Historical and Philosophical Studies",
+		"Social Studies", "Education Studies",
+	},
+	"Mathematical and Computer Sciences": {
+		"Information Systems", "Computer Science", "Software Engineering",
+		"Artificial Intelligence", "Mathematics", "Statistics",
+		"Operational Research", "Games Development",
+	},
+}
+
+// Education Qualification Level hierarchy: depth 2, average fan-out
+// (6+3+3+3)/4 = 3.75 (paper: 3.89).
+var eqlTree = map[string][]string{
+	"Education Qualification Level": {
+		"Entry Level", "Level 1", "Level 2", "Level 3", "Level 4", "Level 5",
+	},
+	"Level 1": {"GCSE D-G", "BTEC Introductory Diploma", "NVQ 1"},
+	"Level 2": {"GCSE A-C", "BTEC First Diploma", "NVQ 2"},
+	"Level 3": {"A-Level", "BTEC National Diploma", "Access Course"},
+}
+
+// Industry Sector hierarchy: depth 1, fan-out 21 (UK SIC sections).
+var sectorChildren = []string{
+	"Agriculture", "Mining", "Manufacturing", "Energy Supply", "Water Supply",
+	"Construction", "Wholesale and Retail", "Transportation", "Accommodation",
+	"Information and Communication", "Financial Services", "Real Estate",
+	"Professional and Scientific", "Administrative Services",
+	"Public Administration", "Education Sector", "Health and Social Work",
+	"Arts and Entertainment", "Other Services", "Household Activities",
+	"Extraterritorial Organisations",
+}
+
+// occupationNames provides recognisable names for the parts of the
+// Occupation hierarchy the query set touches; the rest is generated. The
+// hierarchy has depth 4 with fan-out 4 at every level (paper: 4.08).
+var occupationL1 = []string{"Managers", "Professionals", "Technicians", "Service Workers"}
+
+// Professionals branch, so that "Software Professionals" and "Librarians"
+// are depth-4 leaves as in the original L4All occupation taxonomy.
+var professionalsL2 = []string{
+	"Science and Engineering Professionals", "Health Professionals",
+	"Teaching Professionals", "Culture and Media Professionals",
+}
+var scienceEngL3 = []string{
+	"ICT Professionals", "Engineering Professionals",
+	"Natural Science Professionals", "Research Professionals",
+}
+var ictLeaves = []string{
+	"Software Professionals", "Web Designers", "Systems Analysts", "Database Administrators",
+}
+var cultureL3 = []string{
+	"Information Professionals", "Journalists", "Artists", "Musicians",
+}
+var infoLeaves = []string{
+	"Librarians", "Archivists", "Curators", "Records Managers",
+}
+
+// Ontology builds the L4All ontology of Figure 2: the five class hierarchies
+// plus the single property hierarchy isEpisodeLink ⊇ {next, prereq} with the
+// domains and ranges mentioned in §4.1.
+func Ontology() *ontology.Ontology {
+	o := ontology.New()
+	addTree := func(tree map[string][]string) {
+		for parent, kids := range tree {
+			for _, k := range kids {
+				o.AddSubclass(k, parent)
+			}
+		}
+	}
+	addTree(episodeTree)
+	addTree(subjectTree)
+	addTree(eqlTree)
+	for _, s := range sectorChildren {
+		o.AddSubclass(s, "Industry Sector")
+	}
+	for _, name := range occupationClasses() {
+		o.AddSubclass(name.child, name.parent)
+	}
+
+	o.AddSubproperty("next", "isEpisodeLink")
+	o.AddSubproperty("prereq", "isEpisodeLink")
+	o.SetDomain("next", "Episode")
+	o.SetRange("next", "Episode")
+	o.SetDomain("prereq", "Episode")
+	o.SetRange("prereq", "Episode")
+	o.SetDomain("job", "Episode")
+	o.SetDomain("qualif", "Episode")
+	return o
+}
+
+type scEdge struct{ child, parent string }
+
+// occupationClasses enumerates the full depth-4 Occupation hierarchy:
+// 4 L1 nodes, 4 children each at L2, L3 and L4.
+func occupationClasses() []scEdge {
+	var out []scEdge
+	name := func(parent string, i int) string {
+		return fmt.Sprintf("%s Group %d", parent, i+1)
+	}
+	for _, l1 := range occupationL1 {
+		out = append(out, scEdge{l1, "Occupation"})
+		var l2s []string
+		if l1 == "Professionals" {
+			l2s = professionalsL2
+		} else {
+			for i := 0; i < 4; i++ {
+				l2s = append(l2s, name(l1, i))
+			}
+		}
+		for _, l2 := range l2s {
+			out = append(out, scEdge{l2, l1})
+			var l3s []string
+			switch l2 {
+			case "Science and Engineering Professionals":
+				l3s = scienceEngL3
+			case "Culture and Media Professionals":
+				l3s = cultureL3
+			default:
+				for i := 0; i < 4; i++ {
+					l3s = append(l3s, name(l2, i))
+				}
+			}
+			for _, l3 := range l3s {
+				out = append(out, scEdge{l3, l2})
+				var leaves []string
+				switch l3 {
+				case "ICT Professionals":
+					leaves = ictLeaves
+				case "Information Professionals":
+					leaves = infoLeaves
+				default:
+					for i := 0; i < 4; i++ {
+						leaves = append(leaves, name(l3, i))
+					}
+				}
+				for _, leaf := range leaves {
+					out = append(out, scEdge{leaf, l3})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- seed timelines ---------------------------------------------------------
+
+type episodeKind int
+
+const (
+	workEpisode episodeKind = iota
+	eduEpisode
+)
+
+type seedEpisode struct {
+	kind       episodeKind
+	class      string // Episode leaf class
+	occupation string // Occupation leaf (work)
+	sector     string // Industry Sector child (work)
+	subject    string // Subject leaf (education)
+	level      string // EQL leaf (education)
+	// prereqTo lists offsets (+1, +2, …) of later episodes this episode is a
+	// prerequisite of.
+	prereqTo []int
+}
+
+type seedTimeline struct {
+	episodes []seedEpisode
+}
+
+// leaves of the generated parts used by the random seed builder.
+func allOccupationLeaves() []string {
+	var out []string
+	for _, e := range occupationClasses() {
+		// leaves are exactly the nodes that never appear as a parent
+		isParent := false
+		for _, e2 := range occupationClasses() {
+			if e2.parent == e.child {
+				isParent = true
+				break
+			}
+		}
+		if !isParent {
+			out = append(out, e.child)
+		}
+	}
+	return out
+}
+
+var subjectLeaves = subjectTree["Mathematical and Computer Sciences"]
+
+var eqlLeaves = []string{
+	"GCSE D-G", "NVQ 1", "GCSE A-C", "BTEC First Diploma", "NVQ 2",
+	"A-Level", "BTEC National Diploma", "Access Course",
+}
+
+var episodeLeaves = []string{
+	"Full-time Episode", "Part-time Episode", "Voluntary Episode",
+	"School Episode", "College Episode", "University Episode",
+}
+
+// seedTimelines builds the 21 deterministic seed timelines (5 detailed
+// "real" ones plus 16 realistic ones, as in §4.1).
+func seedTimelines() []seedTimeline {
+	rng := rand.New(rand.NewSource(41))
+	occLeaves := allOccupationLeaves()
+	var seeds []seedTimeline
+	for t := 0; t < 21; t++ {
+		n := 6 + rng.Intn(7) // 6–12 episodes
+		if t < 5 {
+			n = 9 + rng.Intn(4) // the "real" timelines are more detailed
+		}
+		var tl seedTimeline
+		for i := 0; i < n; i++ {
+			var ep seedEpisode
+			// Early life is education-heavy, later life work-heavy.
+			eduProb := 80 - (i*100)/n
+			if rng.Intn(100) < eduProb {
+				ep.kind = eduEpisode
+				ep.class = episodeLeaves[3+rng.Intn(3)]
+				ep.subject = subjectLeaves[rng.Intn(len(subjectLeaves))]
+				ep.level = eqlLeaves[rng.Intn(len(eqlLeaves))]
+			} else {
+				ep.kind = workEpisode
+				ep.class = episodeLeaves[rng.Intn(3)]
+				ep.occupation = occLeaves[rng.Intn(len(occLeaves))]
+				ep.sector = sectorChildren[rng.Intn(len(sectorChildren))]
+			}
+			// prereq edges: frequent to the immediate successor, occasional
+			// skips, giving Q9's prereq*.next+.prereq shape something to match.
+			if i+1 < n && rng.Intn(100) < 45 {
+				ep.prereqTo = append(ep.prereqTo, 1)
+			}
+			if i+2 < n && rng.Intn(100) < 15 {
+				ep.prereqTo = append(ep.prereqTo, 2)
+			}
+			tl.episodes = append(tl.episodes, ep)
+		}
+		// The last education episode of each timeline carries the BTEC
+		// Introductory Diploma level: terminal episodes have no outgoing
+		// prereq, which reproduces Q12's zero exact answers while its RELAX
+		// version (sibling Level 1 qualifications) returns answers.
+		last := &tl.episodes[len(tl.episodes)-1]
+		if t%2 == 0 {
+			last.kind = eduEpisode
+			last.class = episodeLeaves[3+rng.Intn(3)]
+			last.subject = subjectLeaves[rng.Intn(len(subjectLeaves))]
+			last.level = "BTEC Introductory Diploma"
+			last.prereqTo = nil
+		}
+		seeds = append(seeds, tl)
+	}
+	// Guarantee at least one Librarians and one Software Professionals job
+	// in the seeds so Q3/Q10/Q11 have exact answers at L1.
+	seeds[0].episodes[len(seeds[0].episodes)-2] = seedEpisode{
+		kind: workEpisode, class: "Full-time Episode",
+		occupation: "Librarians", sector: "Education Sector", prereqTo: []int{1},
+	}
+	seeds[1].episodes[len(seeds[1].episodes)-2] = seedEpisode{
+		kind: workEpisode, class: "Full-time Episode",
+		occupation: "Software Professionals", sector: "Information and Communication", prereqTo: []int{1},
+	}
+	return seeds
+}
+
+// --- graph generation --------------------------------------------------------
+
+// Generate deterministically builds the data graph for the given scale
+// together with the ontology. Edges targeting class nodes (type, level,
+// sector) are materialised to all ancestors.
+func Generate(scale Scale) (*graph.Graph, *ontology.Ontology) {
+	ont := Ontology()
+	seeds := seedTimelines()
+	b := graph.NewBuilder()
+
+	// Class nodes exist in the data graph (they are the targets of type
+	// edges and the constants of the query set).
+	for _, c := range ont.Classes() {
+		b.AddNode(c)
+	}
+
+	total := scale.Timelines()
+	for t := 0; t < total; t++ {
+		emitTimeline(b, ont, t, seeds[t%len(seeds)], t/len(seeds))
+	}
+	return b.Freeze(), ont
+}
+
+// rotateSibling replaces a leaf class by its shift-th sibling (children of
+// the same parent, in ontology order) — the paper's synthetic-duplication
+// scheme: "using the ontology to alter the classification of each episode to
+// be a 'sibling' class of its original class". A non-empty exclude removes
+// that sibling from the rotation (used to pin BTEC Introductory Diploma to
+// terminal episodes at every scale).
+func rotateSibling(ont *ontology.Ontology, leaf string, shift int, exclude string) string {
+	if shift == 0 {
+		return leaf
+	}
+	anc := ont.ClassAncestors(leaf)
+	if len(anc) < 2 {
+		return leaf
+	}
+	parent := anc[1].Name
+	siblings := ont.ClassDescendants(parent)
+	// Keep only direct children (distance 1 from parent).
+	var direct []string
+	for _, s := range siblings {
+		if s == exclude && s != leaf {
+			continue
+		}
+		a := ont.ClassAncestors(s)
+		if len(a) >= 2 && a[1].Name == parent {
+			direct = append(direct, s)
+		}
+	}
+	if len(direct) == 0 {
+		return leaf
+	}
+	idx := -1
+	for i, s := range direct {
+		if s == leaf {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return leaf
+	}
+	return direct[(idx+shift)%len(direct)]
+}
+
+// addClassified adds an edge from node to the class and to every ancestor
+// (materialised RDFS closure, as in the L4All dataset).
+func addClassified(b *graph.Builder, ont *ontology.Ontology, node graph.NodeID, edgeLabel, class string) {
+	for _, e := range ont.ClassAncestors(class) {
+		cn := b.AddNode(e.Name)
+		// the generator controls all inputs; AddEdge cannot fail here
+		_ = b.AddEdge(node, edgeLabel, cn)
+	}
+}
+
+func emitTimeline(b *graph.Builder, ont *ontology.Ontology, t int, seed seedTimeline, shift int) {
+	n := len(seed.episodes)
+	epNodes := make([]graph.NodeID, n)
+	for i := range seed.episodes {
+		epNodes[i] = b.AddNode(fmt.Sprintf("Alumni_%d_Episode_%d", t, i+1))
+	}
+	for i, ep := range seed.episodes {
+		node := epNodes[i]
+		addClassified(b, ont, node, graph.TypeLabel, rotateSibling(ont, ep.class, shift, ""))
+		if i+1 < n {
+			_ = b.AddEdge(node, "next", epNodes[i+1])
+		}
+		for _, off := range ep.prereqTo {
+			if i+off < n {
+				_ = b.AddEdge(node, "prereq", epNodes[i+off])
+			}
+		}
+		event := b.AddNode(fmt.Sprintf("Alumni_%d_Event_%d", t, i+1))
+		if ep.kind == workEpisode {
+			_ = b.AddEdge(node, "job", event)
+			addClassified(b, ont, event, graph.TypeLabel, rotateSibling(ont, ep.occupation, shift, ""))
+			addClassified(b, ont, event, "sector", rotateSibling(ont, ep.sector, shift, ""))
+		} else {
+			_ = b.AddEdge(node, "qualif", event)
+			addClassified(b, ont, event, graph.TypeLabel, rotateSibling(ont, ep.subject, shift, ""))
+			// The BTEC Introductory Diploma marker is never rotated into or
+			// out of: it stays on terminal episodes at every scale, keeping
+			// Q12's zero exact answers (see seedTimelines).
+			level := ep.level
+			if level != "BTEC Introductory Diploma" {
+				level = rotateSibling(ont, level, shift, "BTEC Introductory Diploma")
+			}
+			addClassified(b, ont, event, "level", level)
+		}
+	}
+}

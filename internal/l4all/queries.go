@@ -1,0 +1,42 @@
+package l4all
+
+// QuerySpec names one query of the study's query set.
+type QuerySpec struct {
+	ID   string
+	Text string
+}
+
+// Queries returns the 12 single-conjunct queries of Figure 4. Q9's constant
+// is adapted to this generator's node naming (the original dataset's episode
+// identifiers are not published); Alumni_0_Episode_1 is guaranteed at least
+// one exact prereq*.next+.prereq answer by seed construction.
+func Queries() []QuerySpec {
+	return []QuerySpec{
+		{"Q1", "(?X) <- (Work Episode, type-, ?X)"},
+		{"Q2", "(?X) <- (Information Systems, type-.qualif-, ?X)"},
+		{"Q3", "(?X) <- (Software Professionals, type-.job-, ?X)"},
+		{"Q4", "(?X, ?Y) <- (?X, job.type, ?Y)"},
+		{"Q5", "(?X, ?Y) <- (?X, next+, ?Y)"},
+		{"Q6", "(?X, ?Y) <- (?X, prereq+, ?Y)"},
+		{"Q7", "(?X, ?Y) <- (?X, next+|(prereq+.next), ?Y)"},
+		{"Q8", "(?X) <- (Mathematical and Computer Sciences, type.prereq+, ?X)"},
+		{"Q9", "(?X) <- (Alumni_0_Episode_1, prereq*.next+.prereq, ?X)"},
+		{"Q10", "(?X) <- (Librarians, type-, ?X)"},
+		{"Q11", "(?X) <- (Librarians, type-.job-.next, ?X)"},
+		{"Q12", "(?X) <- (BTEC Introductory Diploma, level-.qualif-.prereq, ?X)"},
+	}
+}
+
+// StudyQueries returns the subset reported in Figures 5–8 (Q3 and Q8–Q12;
+// the paper reports Q1/Q2 behave like Q3, and Q4–Q7 return well over 100
+// exact answers, so APPROX and RELAX were not applied to them).
+func StudyQueries() []QuerySpec {
+	ids := map[string]bool{"Q3": true, "Q8": true, "Q9": true, "Q10": true, "Q11": true, "Q12": true}
+	var out []QuerySpec
+	for _, q := range Queries() {
+		if ids[q.ID] {
+			out = append(out, q)
+		}
+	}
+	return out
+}

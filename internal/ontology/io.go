@@ -1,0 +1,137 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text serialisation is line oriented:
+//
+//	omega-ontology v1
+//	class <name>
+//	prop <name>
+//	sc <child> | <parent>
+//	sp <child> | <parent>
+//	dom <property> | <class>
+//	range <property> | <class>
+//
+// Names may contain spaces (L4All class names do), so the two-name records
+// use " | " as the separator; names must not contain '|' or newlines.
+
+const magic = "omega-ontology v1"
+
+// Save writes o in the omega-ontology v1 text format.
+func Save(w io.Writer, o *Ontology) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, magic); err != nil {
+		return err
+	}
+	check := func(name string) error {
+		if strings.ContainsAny(name, "|\n") {
+			return fmt.Errorf("ontology: Save: name %q contains '|' or newline", name)
+		}
+		return nil
+	}
+	for _, c := range o.Classes() {
+		if err := check(c); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "class %s\n", c)
+	}
+	for _, p := range o.Properties() {
+		if err := check(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "prop %s\n", p)
+	}
+	for _, c := range o.Classes() {
+		for _, parent := range o.classSuper[c] {
+			fmt.Fprintf(bw, "sc %s | %s\n", c, parent)
+		}
+	}
+	for _, p := range o.Properties() {
+		for _, parent := range o.propSuper[p] {
+			fmt.Fprintf(bw, "sp %s | %s\n", p, parent)
+		}
+		if d, ok := o.Domain(p); ok {
+			fmt.Fprintf(bw, "dom %s | %s\n", p, d)
+		}
+		if r, ok := o.Range(p); ok {
+			fmt.Fprintf(bw, "range %s | %s\n", p, r)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an ontology in the omega-ontology v1 text format.
+func Load(r io.Reader) (*Ontology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ontology: Load: %w", err)
+		}
+		return nil, fmt.Errorf("ontology: Load: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != magic {
+		return nil, fmt.Errorf("ontology: Load: bad header %q", sc.Text())
+	}
+	o := New()
+	line := 1
+	pair := func(rest string) (string, string, error) {
+		parts := strings.SplitN(rest, " | ", 2)
+		if len(parts) != 2 {
+			return "", "", fmt.Errorf("ontology: Load: line %d: missing ' | ' separator in %q", line, rest)
+		}
+		return parts[0], parts[1], nil
+	}
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		kw, rest, found := strings.Cut(text, " ")
+		if !found {
+			return nil, fmt.Errorf("ontology: Load: line %d: malformed record %q", line, text)
+		}
+		switch kw {
+		case "class":
+			o.AddClass(rest)
+		case "prop":
+			o.AddProperty(rest)
+		case "sc":
+			a, b, err := pair(rest)
+			if err != nil {
+				return nil, err
+			}
+			o.AddSubclass(a, b)
+		case "sp":
+			a, b, err := pair(rest)
+			if err != nil {
+				return nil, err
+			}
+			o.AddSubproperty(a, b)
+		case "dom":
+			a, b, err := pair(rest)
+			if err != nil {
+				return nil, err
+			}
+			o.SetDomain(a, b)
+		case "range":
+			a, b, err := pair(rest)
+			if err != nil {
+				return nil, err
+			}
+			o.SetRange(a, b)
+		default:
+			return nil, fmt.Errorf("ontology: Load: line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: Load: %w", err)
+	}
+	return o, nil
+}

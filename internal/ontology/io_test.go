@@ -1,0 +1,101 @@
+package ontology
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o := sample()
+	o.AddClass("Lonely Class")
+	o.AddProperty("lonelyProp")
+	var buf bytes.Buffer
+	if err := Save(&buf, o); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	o2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got, want := len(o2.Classes()), len(o.Classes()); got != want {
+		t.Fatalf("classes: %d, want %d", got, want)
+	}
+	if got, want := len(o2.Properties()), len(o.Properties()); got != want {
+		t.Fatalf("properties: %d, want %d", got, want)
+	}
+	// Structure survives: ancestors, descendants, domain/range.
+	a1 := o.ClassAncestors("FT Work")
+	a2 := o2.ClassAncestors("FT Work")
+	if len(a1) != len(a2) {
+		t.Fatalf("ancestors: %v vs %v", a1, a2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("ancestors differ at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	if d := o2.PropertyDescendants("isEpisodeLink"); len(d) != 2 {
+		t.Fatalf("descendants lost: %v", d)
+	}
+	if dom, ok := o2.Domain("next"); !ok || dom != "Episode" {
+		t.Fatalf("domain lost: %q %v", dom, ok)
+	}
+	if rng, ok := o2.Range("next"); !ok || rng != "Episode" {
+		t.Fatalf("range lost: %q %v", rng, ok)
+	}
+	if !o2.IsClass("Lonely Class") || !o2.IsProperty("lonelyProp") {
+		t.Fatal("isolated class/property lost")
+	}
+}
+
+func TestSpacedNamesSurvive(t *testing.T) {
+	o := New()
+	o.AddSubclass("Mathematical and Computer Sciences", "Subject")
+	var buf bytes.Buffer
+	if err := Save(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anc := o2.ClassAncestors("Mathematical and Computer Sciences")
+	if len(anc) != 2 || anc[1].Name != "Subject" {
+		t.Fatalf("spaced name mangled: %v", anc)
+	}
+}
+
+func TestSaveRejectsPipeNames(t *testing.T) {
+	o := New()
+	o.AddClass("bad|name")
+	var buf bytes.Buffer
+	if err := Save(&buf, o); err == nil {
+		t.Fatal("Save accepted a name containing '|'")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"omega-ontology v1\nbogus record\n",
+		"omega-ontology v1\nsc onlyone\n",
+		"omega-ontology v1\ndom a b\n", // missing ' | '
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoadSkipsComments(t *testing.T) {
+	in := "omega-ontology v1\n# comment\n\nsc A | B\n"
+	o, err := Load(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsClass("A") || !o.IsClass("B") {
+		t.Fatal("classes not loaded")
+	}
+}

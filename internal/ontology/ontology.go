@@ -1,0 +1,354 @@
+// Package ontology implements the ontology K = (V_K, E_K) of the paper (§2):
+// a separate graph whose edges capture subclass (sc), subproperty (sp),
+// domain (dom) and range relationships over class and property nodes. It is
+// consulted by the RELAX operator: rule (i) replaces a class/property label
+// by an immediate superclass/superproperty at cost β, rule (ii) replaces a
+// property label by a type edge targeting the property's domain or range
+// class at cost γ.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is an ancestor of a class or property together with its distance
+// (number of sc/sp steps) from the original term.
+type Entry struct {
+	Name string
+	Dist int
+}
+
+// Ontology stores the subclass/subproperty hierarchies and property
+// domain/range declarations. The zero value is not usable; call New.
+type Ontology struct {
+	classSuper map[string][]string // direct superclasses
+	propSuper  map[string][]string // direct superproperties
+	domain     map[string]string
+	range_     map[string]string
+	classes    map[string]bool
+	props      map[string]bool
+
+	// caches, built lazily and invalidated on mutation
+	classAnc  map[string][]Entry
+	propAnc   map[string][]Entry
+	propDesc  map[string][]string
+	classDesc map[string][]string
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		classSuper: map[string][]string{},
+		propSuper:  map[string][]string{},
+		domain:     map[string]string{},
+		range_:     map[string]string{},
+		classes:    map[string]bool{},
+		props:      map[string]bool{},
+	}
+}
+
+func (o *Ontology) invalidate() {
+	o.classAnc, o.propAnc, o.propDesc, o.classDesc = nil, nil, nil, nil
+}
+
+// AddClass registers a class node without any subclass relationship.
+func (o *Ontology) AddClass(name string) {
+	o.classes[name] = true
+	o.invalidate()
+}
+
+// AddProperty registers a property node without any subproperty relationship.
+func (o *Ontology) AddProperty(name string) {
+	o.props[name] = true
+	o.invalidate()
+}
+
+// AddSubclass records child sc parent.
+func (o *Ontology) AddSubclass(child, parent string) {
+	o.classes[child] = true
+	o.classes[parent] = true
+	if !contains(o.classSuper[child], parent) {
+		o.classSuper[child] = append(o.classSuper[child], parent)
+	}
+	o.invalidate()
+}
+
+// AddSubproperty records child sp parent.
+func (o *Ontology) AddSubproperty(child, parent string) {
+	o.props[child] = true
+	o.props[parent] = true
+	if !contains(o.propSuper[child], parent) {
+		o.propSuper[child] = append(o.propSuper[child], parent)
+	}
+	o.invalidate()
+}
+
+// SetDomain records dom(p) = class.
+func (o *Ontology) SetDomain(p, class string) {
+	o.props[p] = true
+	o.classes[class] = true
+	o.domain[p] = class
+	o.invalidate()
+}
+
+// SetRange records range(p) = class.
+func (o *Ontology) SetRange(p, class string) {
+	o.props[p] = true
+	o.classes[class] = true
+	o.range_[p] = class
+	o.invalidate()
+}
+
+// Domain returns dom(p), if declared.
+func (o *Ontology) Domain(p string) (string, bool) {
+	c, ok := o.domain[p]
+	return c, ok
+}
+
+// Range returns range(p), if declared.
+func (o *Ontology) Range(p string) (string, bool) {
+	c, ok := o.range_[p]
+	return c, ok
+}
+
+// IsClass reports whether name is a known class node.
+func (o *Ontology) IsClass(name string) bool { return o.classes[name] }
+
+// IsProperty reports whether name is a known property node.
+func (o *Ontology) IsProperty(name string) bool { return o.props[name] }
+
+// Classes returns all class names, sorted.
+func (o *Ontology) Classes() []string { return sortedKeys(o.classes) }
+
+// Properties returns all property names, sorted.
+func (o *Ontology) Properties() []string { return sortedKeys(o.props) }
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ancestors performs a BFS over the direct-super relation, returning entries
+// in order of increasing distance (the term itself first, at distance 0).
+// Ties at the same distance are ordered alphabetically for determinism. This
+// is the order GetAncestors needs in the paper's Open procedure: "all
+// superclasses of C in order of increasing specificity", most specific first.
+func ancestors(super map[string][]string, name string) []Entry {
+	out := []Entry{{Name: name, Dist: 0}}
+	dist := map[string]int{name: 0}
+	frontier := []string{name}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []string
+		for _, cur := range frontier {
+			for _, p := range super[cur] {
+				if _, seen := dist[p]; !seen {
+					dist[p] = d
+					next = append(next, p)
+				}
+			}
+		}
+		sort.Strings(next)
+		for _, p := range next {
+			out = append(out, Entry{Name: p, Dist: d})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// ClassAncestors returns the class itself and all its superclasses in order
+// of increasing distance.
+func (o *Ontology) ClassAncestors(name string) []Entry {
+	if o.classAnc == nil {
+		o.classAnc = map[string][]Entry{}
+	}
+	if a, ok := o.classAnc[name]; ok {
+		return a
+	}
+	a := ancestors(o.classSuper, name)
+	o.classAnc[name] = a
+	return a
+}
+
+// PropertyAncestors returns the property itself and all its superproperties
+// in order of increasing distance.
+func (o *Ontology) PropertyAncestors(name string) []Entry {
+	if o.propAnc == nil {
+		o.propAnc = map[string][]Entry{}
+	}
+	if a, ok := o.propAnc[name]; ok {
+		return a
+	}
+	a := ancestors(o.propSuper, name)
+	o.propAnc[name] = a
+	return a
+}
+
+func descendants(super map[string][]string, name string) []string {
+	// Invert the super relation on demand; ontologies are small.
+	var out []string
+	seen := map[string]bool{name: true}
+	frontier := []string{name}
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			for child, parents := range super {
+				if seen[child] {
+					continue
+				}
+				if contains(parents, cur) {
+					seen[child] = true
+					next = append(next, child)
+				}
+			}
+		}
+		sort.Strings(next)
+		out = append(out, next...)
+		frontier = next
+	}
+	return out
+}
+
+// PropertyDescendants returns all strict subproperties of name (not
+// including name itself), in BFS order. A transition relaxed to a
+// superproperty q matches q and every descendant of q at evaluation time,
+// which is how the paper's Example 3 lets relationLocatedByObject match
+// happenedIn and participatedIn without materialising the sp closure.
+func (o *Ontology) PropertyDescendants(name string) []string {
+	if o.propDesc == nil {
+		o.propDesc = map[string][]string{}
+	}
+	if d, ok := o.propDesc[name]; ok {
+		return d
+	}
+	d := descendants(o.propSuper, name)
+	o.propDesc[name] = d
+	return d
+}
+
+// ClassDescendants returns all strict subclasses of name, in BFS order.
+func (o *Ontology) ClassDescendants(name string) []string {
+	if o.classDesc == nil {
+		o.classDesc = map[string][]string{}
+	}
+	if d, ok := o.classDesc[name]; ok {
+		return d
+	}
+	d := descendants(o.classSuper, name)
+	o.classDesc[name] = d
+	return d
+}
+
+// Validate checks that the subclass and subproperty relations are acyclic.
+func (o *Ontology) Validate() error {
+	if cyc := findCycle(o.classSuper); cyc != "" {
+		return fmt.Errorf("ontology: subclass cycle through %q", cyc)
+	}
+	if cyc := findCycle(o.propSuper); cyc != "" {
+		return fmt.Errorf("ontology: subproperty cycle through %q", cyc)
+	}
+	return nil
+}
+
+func findCycle(super map[string][]string) string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = grey
+		for _, p := range super[n] {
+			switch color[p] {
+			case grey:
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	names := make([]string, 0, len(super))
+	for n := range super {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if color[n] == white && visit(n) {
+			return n
+		}
+	}
+	return ""
+}
+
+// HierarchyStats describes the shape of the hierarchy rooted at root, as in
+// Figure 2 of the paper: Depth is the longest root-to-leaf path and AvgFanOut
+// is the mean number of children over non-leaf nodes.
+type HierarchyStats struct {
+	Root      string
+	Depth     int
+	AvgFanOut float64
+	Nodes     int
+	Leaves    int
+}
+
+// ClassHierarchyStats computes Figure 2-style statistics for the class
+// hierarchy rooted at root.
+func (o *Ontology) ClassHierarchyStats(root string) HierarchyStats {
+	children := map[string][]string{}
+	for child, parents := range o.classSuper {
+		for _, p := range parents {
+			children[p] = append(children[p], child)
+		}
+	}
+	stats := HierarchyStats{Root: root}
+	var nonLeaf, childEdges int
+	var walk func(n string, depth int)
+	seen := map[string]bool{}
+	var walkImpl func(n string, depth int)
+	walkImpl = func(n string, depth int) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		stats.Nodes++
+		if depth > stats.Depth {
+			stats.Depth = depth
+		}
+		kids := children[n]
+		if len(kids) == 0 {
+			stats.Leaves++
+			return
+		}
+		nonLeaf++
+		childEdges += len(kids)
+		for _, k := range kids {
+			walkImpl(k, depth+1)
+		}
+	}
+	walk = walkImpl
+	walk(root, 0)
+	if nonLeaf > 0 {
+		stats.AvgFanOut = float64(childEdges) / float64(nonLeaf)
+	}
+	return stats
+}

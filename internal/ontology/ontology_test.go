@@ -1,0 +1,198 @@
+package ontology
+
+import (
+	"testing"
+)
+
+// sample builds a small ontology shaped like the L4All fragment of the paper:
+// a property hierarchy isEpisodeLink ⊇ {next, prereq} and a two-level class
+// hierarchy under Episode.
+func sample() *Ontology {
+	o := New()
+	o.AddSubproperty("next", "isEpisodeLink")
+	o.AddSubproperty("prereq", "isEpisodeLink")
+	o.AddSubclass("Work Episode", "Episode")
+	o.AddSubclass("Education Episode", "Episode")
+	o.AddSubclass("FT Work", "Work Episode")
+	o.AddSubclass("PT Work", "Work Episode")
+	o.SetDomain("next", "Episode")
+	o.SetRange("next", "Episode")
+	return o
+}
+
+func TestClassAncestorsOrder(t *testing.T) {
+	o := sample()
+	anc := o.ClassAncestors("FT Work")
+	want := []Entry{{"FT Work", 0}, {"Work Episode", 1}, {"Episode", 2}}
+	if len(anc) != len(want) {
+		t.Fatalf("ancestors = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Errorf("ancestors[%d] = %v, want %v", i, anc[i], want[i])
+		}
+	}
+}
+
+func TestAncestorsOfRootIsSelf(t *testing.T) {
+	o := sample()
+	anc := o.ClassAncestors("Episode")
+	if len(anc) != 1 || anc[0] != (Entry{"Episode", 0}) {
+		t.Fatalf("ancestors(Episode) = %v, want just itself", anc)
+	}
+}
+
+func TestAncestorsOfUnknownTerm(t *testing.T) {
+	o := sample()
+	anc := o.ClassAncestors("Nowhere")
+	if len(anc) != 1 || anc[0].Name != "Nowhere" || anc[0].Dist != 0 {
+		t.Fatalf("ancestors of unknown = %v, want [{Nowhere 0}]", anc)
+	}
+}
+
+func TestPropertyAncestors(t *testing.T) {
+	o := sample()
+	anc := o.PropertyAncestors("next")
+	if len(anc) != 2 || anc[1] != (Entry{"isEpisodeLink", 1}) {
+		t.Fatalf("PropertyAncestors(next) = %v", anc)
+	}
+}
+
+func TestPropertyDescendants(t *testing.T) {
+	o := sample()
+	d := o.PropertyDescendants("isEpisodeLink")
+	if len(d) != 2 || d[0] != "next" || d[1] != "prereq" {
+		t.Fatalf("PropertyDescendants(isEpisodeLink) = %v, want [next prereq]", d)
+	}
+	if d := o.PropertyDescendants("next"); len(d) != 0 {
+		t.Fatalf("PropertyDescendants(next) = %v, want empty", d)
+	}
+}
+
+func TestClassDescendants(t *testing.T) {
+	o := sample()
+	d := o.ClassDescendants("Episode")
+	if len(d) != 4 {
+		t.Fatalf("ClassDescendants(Episode) = %v, want 4 entries", d)
+	}
+	// BFS order: direct children first.
+	if d[0] != "Education Episode" || d[1] != "Work Episode" {
+		t.Fatalf("ClassDescendants order = %v", d)
+	}
+}
+
+func TestDiamondAncestorsMinDistance(t *testing.T) {
+	o := New()
+	o.AddSubclass("D", "B")
+	o.AddSubclass("D", "C")
+	o.AddSubclass("B", "A")
+	o.AddSubclass("C", "A")
+	anc := o.ClassAncestors("D")
+	// D:0, then B and C at 1 (alphabetical), A once at 2.
+	if len(anc) != 4 {
+		t.Fatalf("diamond ancestors = %v, want 4 entries", anc)
+	}
+	if anc[1] != (Entry{"B", 1}) || anc[2] != (Entry{"C", 1}) || anc[3] != (Entry{"A", 2}) {
+		t.Fatalf("diamond ancestors = %v", anc)
+	}
+}
+
+func TestDomainRange(t *testing.T) {
+	o := sample()
+	if d, ok := o.Domain("next"); !ok || d != "Episode" {
+		t.Errorf("Domain(next) = %q,%v", d, ok)
+	}
+	if r, ok := o.Range("next"); !ok || r != "Episode" {
+		t.Errorf("Range(next) = %q,%v", r, ok)
+	}
+	if _, ok := o.Domain("prereq"); ok {
+		t.Error("Domain(prereq) should be undeclared")
+	}
+}
+
+func TestIsClassIsProperty(t *testing.T) {
+	o := sample()
+	for _, c := range []string{"Episode", "Work Episode", "FT Work"} {
+		if !o.IsClass(c) {
+			t.Errorf("IsClass(%q) = false", c)
+		}
+	}
+	for _, p := range []string{"next", "prereq", "isEpisodeLink"} {
+		if !o.IsProperty(p) {
+			t.Errorf("IsProperty(%q) = false", p)
+		}
+	}
+	if o.IsClass("next") || o.IsProperty("Episode") {
+		t.Error("class/property sets overlap unexpectedly")
+	}
+}
+
+func TestValidateDetectsCycles(t *testing.T) {
+	o := sample()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid ontology rejected: %v", err)
+	}
+	o.AddSubclass("Episode", "FT Work") // creates a cycle
+	if err := o.Validate(); err == nil {
+		t.Fatal("cycle not detected in classes")
+	}
+
+	o2 := New()
+	o2.AddSubproperty("a", "b")
+	o2.AddSubproperty("b", "a")
+	if err := o2.Validate(); err == nil {
+		t.Fatal("cycle not detected in properties")
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	o := sample()
+	s := o.ClassHierarchyStats("Episode")
+	if s.Depth != 2 {
+		t.Errorf("Depth = %d, want 2", s.Depth)
+	}
+	if s.Nodes != 5 || s.Leaves != 3 {
+		t.Errorf("Nodes/Leaves = %d/%d, want 5/3", s.Nodes, s.Leaves)
+	}
+	// Non-leaves: Episode (2 children), Work Episode (2 children) → fan-out 2.
+	if s.AvgFanOut != 2 {
+		t.Errorf("AvgFanOut = %v, want 2", s.AvgFanOut)
+	}
+}
+
+func TestMutationInvalidatesCaches(t *testing.T) {
+	o := New()
+	o.AddSubclass("B", "A")
+	if got := o.ClassAncestors("B"); len(got) != 2 {
+		t.Fatalf("ancestors = %v", got)
+	}
+	o.AddSubclass("A", "Root")
+	if got := o.ClassAncestors("B"); len(got) != 3 {
+		t.Fatalf("ancestors after mutation = %v, want 3 entries", got)
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	o := New()
+	o.AddSubclass("B", "A")
+	o.AddSubclass("B", "A")
+	if anc := o.ClassAncestors("B"); len(anc) != 2 {
+		t.Fatalf("duplicate sc edge changed ancestors: %v", anc)
+	}
+}
+
+func TestClassesPropertiesSorted(t *testing.T) {
+	o := sample()
+	cs := o.Classes()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("Classes not sorted: %v", cs)
+		}
+	}
+	ps := o.Properties()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] >= ps[i] {
+			t.Fatalf("Properties not sorted: %v", ps)
+		}
+	}
+}

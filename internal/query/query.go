@@ -1,0 +1,161 @@
+// Package query parses the textual form of CRP queries (paper §2):
+//
+//	(?X, ?Y) <- (UK, isLocatedIn-.gradFrom, ?X), APPROX (?X, next+, ?Y)
+//
+// The head is a parenthesised list of variables (led by '?'); the body is a
+// comma-separated list of conjuncts, each an optional operator keyword
+// (APPROX, RELAX, or the extension FLEX) followed by a parenthesised triple
+// (subject, regexp, object). Subjects and objects are either variables or
+// constant node labels, which may contain spaces ("Work Episode").
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/rpq"
+)
+
+// Parse parses a CRP query in textual form.
+func Parse(input string) (*core.Query, error) {
+	parts := strings.SplitN(input, "<-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("query: missing '<-' in %q", input)
+	}
+	head, err := parseHead(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, err
+	}
+	conjs, err := parseBody(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{Head: head, Conjuncts: conjs}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for fixed query sets and tests.
+func MustParse(input string) *core.Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseHead(s string) ([]string, error) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("query: head must be parenthesised, got %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return nil, fmt.Errorf("query: empty head")
+	}
+	var head []string
+	for _, f := range strings.Split(inner, ",") {
+		f = strings.TrimSpace(f)
+		if !strings.HasPrefix(f, "?") || len(f) < 2 {
+			return nil, fmt.Errorf("query: head entry %q is not a variable", f)
+		}
+		head = append(head, f[1:])
+	}
+	return head, nil
+}
+
+// splitTopLevel splits s on sep at parenthesis depth 0.
+func splitTopLevel(s string, sep rune) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + len(string(sep))
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func parseBody(s string) ([]core.Conjunct, error) {
+	if s == "" {
+		return nil, fmt.Errorf("query: empty body")
+	}
+	var conjs []core.Conjunct
+	for _, part := range splitTopLevel(s, ',') {
+		c, err := parseConjunct(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, c)
+	}
+	return conjs, nil
+}
+
+func parseConjunct(s string) (core.Conjunct, error) {
+	mode := automaton.Exact
+	upper := strings.ToUpper(s)
+	for _, kw := range []struct {
+		word string
+		mode automaton.Mode
+	}{
+		{"APPROX", automaton.Approx},
+		{"RELAX", automaton.Relax},
+		{"FLEX", automaton.Flex},
+	} {
+		if strings.HasPrefix(upper, kw.word) {
+			rest := s[len(kw.word):]
+			if rest == "" || !strings.ContainsAny(string(rest[0]), " \t(") {
+				continue // e.g. a constant named APPROXIMATE
+			}
+			mode = kw.mode
+			s = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return core.Conjunct{}, fmt.Errorf("query: conjunct must be parenthesised, got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	fields := splitTopLevel(inner, ',')
+	if len(fields) != 3 {
+		return core.Conjunct{}, fmt.Errorf("query: conjunct %q must have 3 comma-separated parts, got %d", s, len(fields))
+	}
+	subj, err := parseTerm(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return core.Conjunct{}, err
+	}
+	obj, err := parseTerm(strings.TrimSpace(fields[2]))
+	if err != nil {
+		return core.Conjunct{}, err
+	}
+	expr, err := rpq.Parse(strings.TrimSpace(fields[1]))
+	if err != nil {
+		return core.Conjunct{}, fmt.Errorf("query: conjunct %q: %w", s, err)
+	}
+	return core.Conjunct{Subject: subj, Expr: expr, Object: obj, Mode: mode}, nil
+}
+
+func parseTerm(s string) (core.Term, error) {
+	if s == "" {
+		return core.Term{}, fmt.Errorf("query: empty term")
+	}
+	if strings.HasPrefix(s, "?") {
+		if len(s) == 1 {
+			return core.Term{}, fmt.Errorf("query: bare '?' is not a variable")
+		}
+		return core.Var(s[1:]), nil
+	}
+	return core.Const(s), nil
+}

@@ -1,0 +1,174 @@
+package rpq
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses the concrete syntax for regular path expressions:
+//
+//	expr := cat ('|' cat)*
+//	cat  := post ('.' post)*
+//	post := atom ('*' | '+' | '?' | '-')*
+//	atom := ident | '_' | '(' ')' | '(' expr ')'
+//
+// A postfix '-' inverts a label or wildcard, and reverses a composite
+// expression: (a.b)- ≡ b-.a-. Identifiers start with a letter or digit and
+// may contain letters, digits, '_', ':', '#' and '\”.
+func Parse(input string) (*Expr, error) {
+	p := &parser{src: []rune(input)}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d in %q", string(p.src[p.pos]), p.pos, input)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed query sets.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() rune {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("rpq: "+format+" at offset %d in %q", append(args, p.pos, string(p.src))...)
+}
+
+func (p *parser) parseAlt() (*Expr, error) {
+	first, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{first}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	return Alt(kids...), nil
+}
+
+func (p *parser) parseCat() (*Expr, error) {
+	first, err := p.parsePost()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*Expr{first}
+	for p.peek() == '.' {
+		p.pos++
+		next, err := p.parsePost()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, next)
+	}
+	return Concat(kids...), nil
+}
+
+func (p *parser) parsePost() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star(e)
+		case '+':
+			p.pos++
+			e = Plus(e)
+		case '?':
+			p.pos++
+			e = Opt(e)
+		case '-':
+			p.pos++
+			switch e.Op {
+			case OpLabel:
+				e = &Expr{Op: OpLabel, Label: e.Label, Inverse: !e.Inverse}
+			case OpAny:
+				e = &Expr{Op: OpAny, Inverse: !e.Inverse}
+			default:
+				e = e.Reverse()
+			}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == ':' || r == '#' || r == '\''
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	switch r := p.peek(); {
+	case r == 0:
+		return nil, p.errf("unexpected end of expression")
+	case r == '(':
+		p.pos++
+		if p.peek() == ')' {
+			p.pos++
+			return Eps(), nil
+		}
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return e, nil
+	case r == '_':
+		p.pos++
+		// '_' followed by an identifier rune would be ambiguous; reject so
+		// that labels can never begin with '_'.
+		if p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+			return nil, p.errf("identifiers must not start with '_'")
+		}
+		return Any(), nil
+	case isIdentStart(r):
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+			p.pos++
+		}
+		return Label(string(p.src[start:p.pos])), nil
+	default:
+		return nil, p.errf("unexpected %q", string(r))
+	}
+}

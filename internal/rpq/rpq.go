@@ -1,0 +1,270 @@
+// Package rpq defines the regular path expressions of the paper (§2):
+//
+//	R := ε | a | a− | _ | (R1 · R2) | (R1 | R2) | R* | R+
+//
+// where a is an edge label, a− traverses an edge in reverse, and _ matches
+// any single label. R? is accepted as an extension (R? ≡ R|ε). The concrete
+// syntax uses '.' for concatenation, '|' for alternation, a postfix '-' for
+// inversion, '_' for the wildcard and '()' for ε.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates expression node kinds.
+type Op uint8
+
+const (
+	// OpEps matches the empty path.
+	OpEps Op = iota
+	// OpLabel matches one edge with a specific label (possibly inverted).
+	OpLabel
+	// OpAny matches one edge with any label (possibly inverted).
+	OpAny
+	// OpConcat matches the concatenation of its children.
+	OpConcat
+	// OpAlt matches any one of its children.
+	OpAlt
+	// OpStar matches zero or more repetitions of its child.
+	OpStar
+	// OpPlus matches one or more repetitions of its child.
+	OpPlus
+	// OpOpt matches zero or one occurrence of its child (extension).
+	OpOpt
+)
+
+// Expr is a node of a regular path expression tree. Expressions are
+// immutable once built; all transformations return new trees.
+type Expr struct {
+	Op      Op
+	Label   string  // OpLabel only
+	Inverse bool    // OpLabel, OpAny
+	Kids    []*Expr // OpConcat/OpAlt: ≥2; OpStar/OpPlus/OpOpt: exactly 1
+}
+
+// Eps returns the ε expression.
+func Eps() *Expr { return &Expr{Op: OpEps} }
+
+// Label returns an expression matching one forward edge labelled name.
+func Label(name string) *Expr { return &Expr{Op: OpLabel, Label: name} }
+
+// Inv returns an expression matching one reverse edge labelled name (a−).
+func Inv(name string) *Expr { return &Expr{Op: OpLabel, Label: name, Inverse: true} }
+
+// Any returns the forward wildcard (_).
+func Any() *Expr { return &Expr{Op: OpAny} }
+
+// AnyInv returns the reverse wildcard (_−).
+func AnyInv() *Expr { return &Expr{Op: OpAny, Inverse: true} }
+
+// Concat returns the concatenation of kids, flattening nested concatenations
+// and simplifying the 0- and 1-child cases.
+func Concat(kids ...*Expr) *Expr {
+	flat := make([]*Expr, 0, len(kids))
+	for _, k := range kids {
+		if k.Op == OpConcat {
+			flat = append(flat, k.Kids...)
+		} else if k.Op != OpEps {
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Eps()
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Op: OpConcat, Kids: flat}
+}
+
+// Alt returns the alternation of kids, flattening nested alternations and
+// simplifying the 0- and 1-child cases.
+func Alt(kids ...*Expr) *Expr {
+	flat := make([]*Expr, 0, len(kids))
+	for _, k := range kids {
+		if k.Op == OpAlt {
+			flat = append(flat, k.Kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Eps()
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Op: OpAlt, Kids: flat}
+}
+
+// Star returns x*.
+func Star(x *Expr) *Expr { return &Expr{Op: OpStar, Kids: []*Expr{x}} }
+
+// Plus returns x+.
+func Plus(x *Expr) *Expr { return &Expr{Op: OpPlus, Kids: []*Expr{x}} }
+
+// Opt returns x? (extension; equivalent to x|ε).
+func Opt(x *Expr) *Expr { return &Expr{Op: OpOpt, Kids: []*Expr{x}} }
+
+// Reverse returns the expression denoting the reversed language with each
+// label inverted: paths matching Reverse(R) from y to x are exactly the
+// paths matching R from x to y. This implements the (?X,R,C) → (C,R−,?X)
+// rewrite of Case 2 in the paper's Open procedure.
+func (e *Expr) Reverse() *Expr {
+	switch e.Op {
+	case OpEps:
+		return Eps()
+	case OpLabel:
+		return &Expr{Op: OpLabel, Label: e.Label, Inverse: !e.Inverse}
+	case OpAny:
+		return &Expr{Op: OpAny, Inverse: !e.Inverse}
+	case OpConcat:
+		kids := make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[len(e.Kids)-1-i] = k.Reverse()
+		}
+		return &Expr{Op: OpConcat, Kids: kids}
+	case OpAlt:
+		kids := make([]*Expr, len(e.Kids))
+		for i, k := range e.Kids {
+			kids[i] = k.Reverse()
+		}
+		return &Expr{Op: OpAlt, Kids: kids}
+	case OpStar, OpPlus, OpOpt:
+		return &Expr{Op: e.Op, Kids: []*Expr{e.Kids[0].Reverse()}}
+	}
+	panic(fmt.Sprintf("rpq: Reverse: unknown op %d", e.Op))
+}
+
+// Equal reports structural equality.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Op != o.Op || e.Label != o.Label || e.Inverse != o.Inverse || len(e.Kids) != len(o.Kids) {
+		return false
+	}
+	for i := range e.Kids {
+		if !e.Kids[i].Equal(o.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes in the expression tree.
+func (e *Expr) Size() int {
+	n := 1
+	for _, k := range e.Kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// Labels returns the distinct edge labels mentioned in the expression.
+func (e *Expr) Labels() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.Op == OpLabel && !seen[x.Label] {
+			seen[x.Label] = true
+			out = append(out, x.Label)
+		}
+		for _, k := range x.Kids {
+			walk(k)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Alternands returns the top-level alternands of e: for an alternation its
+// children, otherwise e itself. This feeds the "replacing alternation by
+// disjunction" optimisation of §4.3.
+func (e *Expr) Alternands() []*Expr {
+	if e.Op == OpAlt {
+		return e.Kids
+	}
+	return []*Expr{e}
+}
+
+// precedence for the printer: alt < concat < postfix.
+func (e *Expr) prec() int {
+	switch e.Op {
+	case OpAlt:
+		return 0
+	case OpConcat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String renders the expression in the concrete syntax accepted by Parse.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	child := func(k *Expr, minPrec int) {
+		if k.prec() < minPrec {
+			b.WriteByte('(')
+			k.write(b)
+			b.WriteByte(')')
+		} else {
+			k.write(b)
+		}
+	}
+	switch e.Op {
+	case OpEps:
+		b.WriteString("()")
+	case OpLabel:
+		b.WriteString(e.Label)
+		if e.Inverse {
+			b.WriteByte('-')
+		}
+	case OpAny:
+		b.WriteByte('_')
+		if e.Inverse {
+			b.WriteByte('-')
+		}
+	case OpConcat:
+		for i, k := range e.Kids {
+			if i > 0 {
+				b.WriteByte('.')
+			}
+			child(k, 2)
+		}
+	case OpAlt:
+		for i, k := range e.Kids {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			child(k, 1)
+		}
+	case OpStar, OpPlus, OpOpt:
+		k := e.Kids[0]
+		// Postfix operators bind tightest; parenthesise any composite child,
+		// including another postfix (a** is confusing to read back).
+		if k.prec() < 2 || len(k.Kids) > 0 {
+			b.WriteByte('(')
+			k.write(b)
+			b.WriteByte(')')
+		} else {
+			k.write(b)
+		}
+		switch e.Op {
+		case OpStar:
+			b.WriteByte('*')
+		case OpPlus:
+			b.WriteByte('+')
+		default:
+			b.WriteByte('?')
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package rpq
+
+// Simplify applies language-preserving algebraic rewrites to a path
+// expression. The paper lists query rewriting (after Hartig & Heese's SPARQL
+// query graph model) as future work (§5, §6); this pass implements the
+// regular-expression fragment of it: smaller expressions compile to smaller
+// automata, which directly shrinks the product-automaton search space.
+//
+// Rules (applied bottom-up to a fixpoint):
+//
+//	R|R        → R            (idempotence, set-semantics of alternation)
+//	(R*)*      → R*           and the star/plus/opt absorption family
+//	R*.R*      → R*
+//	ε.R / R.ε  → R            (constructors already do this)
+//	(ε|R)      → R?
+//	R?? → R?,  (R?)* → R*,  (R*)? → R*,  (R+)? → R*,  (R?)+ → R*,  (R+)* → R*
+//	ε* / ε+ / ε? → ε
+func Simplify(e *Expr) *Expr {
+	for {
+		next := simplifyOnce(e)
+		if next.Equal(e) {
+			return next
+		}
+		e = next
+	}
+}
+
+func simplifyOnce(e *Expr) *Expr {
+	// Rewrite children first.
+	kids := make([]*Expr, len(e.Kids))
+	for i, k := range e.Kids {
+		kids[i] = simplifyOnce(k)
+	}
+	switch e.Op {
+	case OpEps, OpLabel, OpAny:
+		return e
+	case OpConcat:
+		flat := Concat(kids...)
+		if flat.Op != OpConcat {
+			return flat
+		}
+		// R*.R* → R*  (adjacent identical closures collapse)
+		out := flat.Kids[:1:1]
+		for _, k := range flat.Kids[1:] {
+			last := out[len(out)-1]
+			if last.Op == OpStar && k.Op == OpStar && last.Kids[0].Equal(k.Kids[0]) {
+				continue
+			}
+			// R*.R+ → R+ and R+.R* → R+
+			if last.Op == OpStar && k.Op == OpPlus && last.Kids[0].Equal(k.Kids[0]) {
+				out[len(out)-1] = k
+				continue
+			}
+			if last.Op == OpPlus && k.Op == OpStar && last.Kids[0].Equal(k.Kids[0]) {
+				continue
+			}
+			out = append(out, k)
+		}
+		return Concat(out...)
+	case OpAlt:
+		flat := Alt(kids...)
+		if flat.Op != OpAlt {
+			return flat
+		}
+		// Deduplicate alternands; note whether ε occurs.
+		var out []*Expr
+		hasEps := false
+		for _, k := range flat.Kids {
+			if k.Op == OpEps {
+				hasEps = true
+				continue
+			}
+			dup := false
+			for _, seen := range out {
+				if seen.Equal(k) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, k)
+			}
+		}
+		if hasEps {
+			switch len(out) {
+			case 0:
+				return Eps()
+			case 1:
+				return simplifyOnce(Opt(out[0]))
+			default:
+				return Opt(Alt(out...))
+			}
+		}
+		return Alt(out...)
+	case OpStar:
+		k := kids[0]
+		switch k.Op {
+		case OpEps:
+			return Eps() // ε* → ε
+		case OpStar, OpPlus, OpOpt:
+			return Star(k.Kids[0]) // (R*)*, (R+)*, (R?)* → R*
+		}
+		return Star(k)
+	case OpPlus:
+		k := kids[0]
+		switch k.Op {
+		case OpEps:
+			return Eps() // ε+ → ε
+		case OpStar:
+			return Star(k.Kids[0]) // (R*)+ → R*
+		case OpPlus:
+			return Plus(k.Kids[0]) // (R+)+ → R+
+		case OpOpt:
+			return Star(k.Kids[0]) // (R?)+ → R*
+		}
+		return Plus(k)
+	case OpOpt:
+		k := kids[0]
+		switch k.Op {
+		case OpEps:
+			return Eps() // ε? → ε
+		case OpStar:
+			return Star(k.Kids[0]) // (R*)? → R*
+		case OpPlus:
+			return Star(k.Kids[0]) // (R+)? → R*
+		case OpOpt:
+			return Opt(k.Kids[0]) // R?? → R?
+		}
+		return Opt(k)
+	}
+	return e
+}

@@ -1,0 +1,226 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyFixedCases(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"a|a", "a"},
+		{"a|b|a", "a|b"},
+		{"(a*)*", "a*"},
+		{"(a+)+", "a+"},
+		{"(a+)*", "a*"},
+		{"(a*)+", "a*"},
+		{"(a?)?", "a?"},
+		{"(a?)*", "a*"},
+		{"(a?)+", "a*"},
+		{"(a*)?", "a*"},
+		{"(a+)?", "a*"},
+		{"a*.a*", "a*"},
+		{"a*.a+", "a+"},
+		{"a+.a*", "a+"},
+		{"()|a", "a?"},
+		{"()|a|b", "(a|b)?"},
+		{"()*", "()"},
+		{"()+", "()"},
+		{"()?", "()"},
+		{"a.().b", "a.b"},
+		{"a", "a"},
+		{"a.b|c", "a.b|c"},     // nothing to do
+		{"a*.b.b*", "a*.b.b*"}, // different bodies: untouched
+		{"(a|a).(b|b)", "a.b"}, // nested rewrites compose
+		{"((a*)*).((a|a)?)", "a*.a?"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if !got.Equal(want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.in, got, want)
+		}
+	}
+}
+
+func TestSimplifyNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		e := randomExpr(rng, 4)
+		s := Simplify(e)
+		if s.Size() > e.Size() {
+			t.Fatalf("Simplify grew %s (%d) into %s (%d)", e, e.Size(), s, s.Size())
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		e := Simplify(randomExpr(rng, 4))
+		if again := Simplify(e); !again.Equal(e) {
+			t.Fatalf("Simplify not idempotent: %s → %s", e, again)
+		}
+	}
+}
+
+// Language preservation: membership of sampled words is unchanged. The
+// sampler draws words both from the original language (via random AST walks)
+// and uniformly from the alphabet (negative cases).
+func TestSimplifyPreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 400; i++ {
+		e := randomExpr(rng, 4)
+		s := Simplify(e)
+		for j := 0; j < 12; j++ {
+			w := randomWordFor(rng, e, 5)
+			if memberAST(e, w) != memberAST(s, w) {
+				t.Fatalf("Simplify changed language of %s → %s on %v", e, s, w)
+			}
+		}
+	}
+}
+
+type testSym struct {
+	label string
+	inv   bool
+}
+
+// randomWordFor draws a word: half the time by walking e (likely a member),
+// half the time uniformly (likely a non-member).
+func randomWordFor(rng *rand.Rand, e *Expr, maxLen int) []testSym {
+	if rng.Intn(2) == 0 {
+		w := sampleWalk(rng, e, maxLen)
+		if w != nil {
+			return w
+		}
+	}
+	n := rng.Intn(maxLen)
+	w := make([]testSym, n)
+	for i := range w {
+		w[i] = testSym{label: string(rune('a' + rng.Intn(3))), inv: rng.Intn(2) == 0}
+	}
+	return w
+}
+
+// sampleWalk draws a random member of L(e), or nil if it exceeds maxLen.
+func sampleWalk(rng *rand.Rand, e *Expr, maxLen int) []testSym {
+	switch e.Op {
+	case OpEps:
+		return []testSym{}
+	case OpLabel:
+		return []testSym{{label: e.Label, inv: e.Inverse}}
+	case OpAny:
+		return []testSym{{label: string(rune('a' + rng.Intn(3))), inv: e.Inverse}}
+	case OpConcat:
+		var out []testSym
+		for _, k := range e.Kids {
+			w := sampleWalk(rng, k, maxLen)
+			if w == nil {
+				return nil
+			}
+			out = append(out, w...)
+			if len(out) > maxLen {
+				return nil
+			}
+		}
+		return out
+	case OpAlt:
+		return sampleWalk(rng, e.Kids[rng.Intn(len(e.Kids))], maxLen)
+	case OpStar, OpPlus, OpOpt:
+		min, max := 0, 2
+		if e.Op == OpPlus {
+			min = 1
+		}
+		if e.Op == OpOpt {
+			max = 1
+		}
+		n := min + rng.Intn(max-min+1)
+		var out []testSym
+		for i := 0; i < n; i++ {
+			w := sampleWalk(rng, e.Kids[0], maxLen)
+			if w == nil {
+				return nil
+			}
+			out = append(out, w...)
+			if len(out) > maxLen {
+				return nil
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// memberAST is an AST membership DP over testSym words (independent of the
+// automaton machinery).
+func memberAST(e *Expr, w []testSym) bool {
+	type key struct {
+		n    *Expr
+		i, j int
+	}
+	memo := map[key]bool{}
+	var m func(e *Expr, i, j int) bool
+	m = func(e *Expr, i, j int) bool {
+		k := key{e, i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		memo[k] = false
+		var res bool
+		switch e.Op {
+		case OpEps:
+			res = i == j
+		case OpLabel:
+			res = j == i+1 && w[i].label == e.Label && w[i].inv == e.Inverse
+		case OpAny:
+			res = j == i+1 && w[i].inv == e.Inverse
+		case OpConcat:
+			res = concatMember(e.Kids, i, j, m)
+		case OpAlt:
+			for _, kid := range e.Kids {
+				if m(kid, i, j) {
+					res = true
+					break
+				}
+			}
+		case OpStar:
+			if i == j {
+				res = true
+			} else {
+				for k2 := i + 1; k2 <= j && !res; k2++ {
+					res = m(e.Kids[0], i, k2) && m(e, k2, j)
+				}
+			}
+		case OpPlus:
+			if i == j {
+				res = m(e.Kids[0], i, i)
+			} else {
+				for k2 := i + 1; k2 <= j && !res; k2++ {
+					res = m(e.Kids[0], i, k2) && (k2 == j || m(Star(e.Kids[0]), k2, j))
+				}
+				if !res {
+					res = m(e.Kids[0], i, j)
+				}
+			}
+		case OpOpt:
+			res = i == j || m(e.Kids[0], i, j)
+		}
+		memo[k] = res
+		return res
+	}
+	return m(e, 0, len(w))
+}
+
+func concatMember(kids []*Expr, i, j int, m func(*Expr, int, int) bool) bool {
+	if len(kids) == 1 {
+		return m(kids[0], i, j)
+	}
+	for k := i; k <= j; k++ {
+		if m(kids[0], i, k) && concatMember(kids[1:], k, j, m) {
+			return true
+		}
+	}
+	return false
+}

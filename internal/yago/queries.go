@@ -1,0 +1,38 @@
+package yago
+
+// QuerySpec names one query of the study's query set.
+type QuerySpec struct {
+	ID   string
+	Text string
+}
+
+// Queries returns the 9 single-conjunct queries of Figure 9, adapted only in
+// entity naming where the synthetic generator differs from the YAGO dump
+// ("Annie Haslam" is written Annie_Haslam here).
+func Queries() []QuerySpec {
+	return []QuerySpec{
+		{"Q1", "(?X) <- (Halle_Saxony-Anhalt, bornIn-.marriedTo.hasChild, ?X)"},
+		{"Q2", "(?X) <- (Li_Peng, hasChild.gradFrom.gradFrom-.hasWonPrize, ?X)"},
+		{"Q3", "(?X) <- (wordnet_ziggurat, type-.locatedIn-, ?X)"},
+		{"Q4", "(?X, ?Y) <- (?X, directed.married.married+.playsFor, ?Y)"},
+		{"Q5", "(?X, ?Y) <- (?X, isConnectedTo.wasBornIn, ?Y)"},
+		{"Q6", "(?X, ?Y) <- (?X, imports.exports-, ?Y)"},
+		{"Q7", "(?X) <- (wordnet_city, type-.happenedIn-.participatedIn-, ?X)"},
+		{"Q8", "(?X) <- (Annie_Haslam, type.type-.actedIn, ?X)"},
+		{"Q9", "(?X) <- (UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)"},
+	}
+}
+
+// StudyQueries returns the subset reported in Figures 10 and 11 (Q2–Q5 and
+// Q9; the paper reports Q1 behaves like Q2, Q6 like Q4/Q5 but terminating,
+// and Q7/Q8 return well over 100 exact answers).
+func StudyQueries() []QuerySpec {
+	ids := map[string]bool{"Q2": true, "Q3": true, "Q4": true, "Q5": true, "Q9": true}
+	var out []QuerySpec
+	for _, q := range Queries() {
+		if ids[q.ID] {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,513 @@
+// Package yago generates the YAGO case-study workload of §4.2. The paper
+// used the SIMPLETAX + CORE portions of YAGO (3.1M nodes, 17M edges; one
+// classification hierarchy of depth 2 with average fan-out 933.43; 38
+// properties, two property hierarchies with 2 and 6 subproperties). Those
+// dumps are not redistributable here, so this package synthesises a
+// YAGO-shaped graph with the same schema: a depth-2 class taxonomy, the same
+// 38 properties and hierarchies, and seed entity clusters engineered so that
+// each query of Figure 9 reproduces its reported behaviour (zero exact
+// answers for the broken-direction queries; APPROX/RELAX recovering answers
+// at distance 1–2). Entity counts are scaled down by default (laptop-sized)
+// and configurable.
+package yago
+
+import (
+	"fmt"
+	"math/rand"
+
+	"omega/internal/graph"
+	"omega/internal/ontology"
+)
+
+// Config controls the synthetic graph size. Zero fields mean the defaults.
+type Config struct {
+	Seed         int64
+	People       int
+	Cities       int
+	Countries    int
+	Universities int
+	Movies       int
+	Clubs        int
+	Events       int
+	Prizes       int
+	Commodities  int
+	Structures   int
+	Ziggurats    int
+	Artifacts    int
+	MidClasses   int // children of the taxonomy root
+	LeafClasses  int // children per mid class
+}
+
+// DefaultConfig is laptop-sized: ~40k nodes, ~300k edges.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		People:       12000,
+		Cities:       800,
+		Countries:    60,
+		Universities: 240,
+		Movies:       1500,
+		Clubs:        80,
+		Events:       400,
+		Prizes:       40,
+		Commodities:  40,
+		Structures:   500,
+		Ziggurats:    25,
+		Artifacts:    800,
+		MidClasses:   30,
+		LeafClasses:  30,
+	}
+}
+
+// Scaled multiplies all entity counts by f (class counts unchanged).
+func (c Config) Scaled(f float64) Config {
+	s := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c.People = s(c.People)
+	c.Cities = s(c.Cities)
+	c.Universities = s(c.Universities)
+	c.Movies = s(c.Movies)
+	c.Clubs = s(c.Clubs)
+	c.Events = s(c.Events)
+	c.Structures = s(c.Structures)
+	c.Ziggurats = s(c.Ziggurats)
+	c.Artifacts = s(c.Artifacts)
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	set := func(v *int, dv int) {
+		if *v <= 0 {
+			*v = dv
+		}
+	}
+	set(&c.People, d.People)
+	set(&c.Cities, d.Cities)
+	set(&c.Countries, d.Countries)
+	set(&c.Universities, d.Universities)
+	set(&c.Movies, d.Movies)
+	set(&c.Clubs, d.Clubs)
+	set(&c.Events, d.Events)
+	set(&c.Prizes, d.Prizes)
+	set(&c.Commodities, d.Commodities)
+	set(&c.Structures, d.Structures)
+	set(&c.Ziggurats, d.Ziggurats)
+	set(&c.Artifacts, d.Artifacts)
+	set(&c.MidClasses, d.MidClasses)
+	set(&c.LeafClasses, d.LeafClasses)
+	return c
+}
+
+// Properties is the full 38-property vocabulary (including type), matching
+// the count the paper reports for YAGO.
+var Properties = []string{
+	graph.TypeLabel,
+	// hierarchy 1 (6 subproperties of relationLocatedByObject)
+	"relationLocatedByObject",
+	"gradFrom", "happenedIn", "participatedIn", "wasBornIn", "locatedIn", "diedIn",
+	// hierarchy 2 (2 subproperties of hasPersonalRelation)
+	"hasPersonalRelation",
+	"marriedTo", "hasChild",
+	// flat properties
+	"bornIn", "married", "livesIn", "isCitizenOf", "worksAt", "hasWonPrize",
+	"actedIn", "directed", "produced", "wrote", "playsFor", "influences",
+	"isLocatedIn", "isConnectedTo", "hasCapital", "hasCurrency",
+	"hasOfficialLanguage", "imports", "exports", "dealsWith", "owns",
+	"created", "isLeaderOf", "isAffiliatedTo", "hasAcademicAdvisor",
+	"isPoliticianOf", "hasNeighbor",
+}
+
+// named leaf classes used by the query set and the entity generators; they
+// are placed under the first mid classes of the taxonomy.
+var namedLeaves = map[string]string{
+	"wordnet_person":     "wordnet_living_thing",
+	"wordnet_city":       "wordnet_location",
+	"wordnet_country":    "wordnet_location",
+	"wordnet_university": "wordnet_organization",
+	"wordnet_club":       "wordnet_organization",
+	"wordnet_movie":      "wordnet_creation",
+	"wordnet_artifact":   "wordnet_creation",
+	"wordnet_event":      "wordnet_happening",
+	"wordnet_prize":      "wordnet_happening",
+	"wordnet_currency":   "wordnet_abstraction",
+	"wordnet_commodity":  "wordnet_abstraction",
+	"wordnet_ziggurat":   "wordnet_structure",
+	"wordnet_museum":     "wordnet_structure",
+	"wordnet_tower":      "wordnet_structure",
+}
+
+var namedMids = []string{
+	"wordnet_living_thing", "wordnet_location", "wordnet_organization",
+	"wordnet_creation", "wordnet_happening", "wordnet_abstraction",
+	"wordnet_structure",
+}
+
+// Ontology builds the YAGO-shaped ontology for the given config: one class
+// hierarchy of depth 2 (root wordnet_entity) and the two property
+// hierarchies (6 and 2 subproperties).
+func Ontology(cfg Config) *ontology.Ontology {
+	cfg = cfg.withDefaults()
+	o := ontology.New()
+	for _, p := range Properties {
+		o.AddProperty(p)
+	}
+	for _, p := range []string{"gradFrom", "happenedIn", "participatedIn", "wasBornIn", "locatedIn", "diedIn"} {
+		o.AddSubproperty(p, "relationLocatedByObject")
+	}
+	o.AddSubproperty("marriedTo", "hasPersonalRelation")
+	o.AddSubproperty("hasChild", "hasPersonalRelation")
+	o.SetDomain("gradFrom", "wordnet_person")
+	o.SetRange("gradFrom", "wordnet_university")
+	o.SetDomain("actedIn", "wordnet_person")
+	o.SetRange("actedIn", "wordnet_movie")
+	o.SetDomain("happenedIn", "wordnet_event")
+	o.SetRange("happenedIn", "wordnet_city")
+	o.SetDomain("hasCurrency", "wordnet_country")
+	o.SetRange("hasCurrency", "wordnet_currency")
+
+	const root = "wordnet_entity"
+	mids := make([]string, 0, cfg.MidClasses)
+	mids = append(mids, namedMids...)
+	for i := len(mids); i < cfg.MidClasses; i++ {
+		mids = append(mids, fmt.Sprintf("wordnet_category_%d", i))
+	}
+	for _, m := range mids {
+		o.AddSubclass(m, root)
+	}
+	// Named leaves first, then filler leaves to reach the configured fan-out.
+	leafCount := map[string]int{}
+	for leaf, mid := range namedLeaves {
+		o.AddSubclass(leaf, mid)
+		leafCount[mid]++
+	}
+	for _, m := range mids {
+		for i := leafCount[m]; i < cfg.LeafClasses; i++ {
+			o.AddSubclass(fmt.Sprintf("%s_leaf_%d", m, i), m)
+		}
+	}
+	return o
+}
+
+// gen carries generation state.
+type gen struct {
+	cfg Config
+	b   *graph.Builder
+	ont *ontology.Ontology
+	rng *rand.Rand
+
+	countries    []graph.NodeID
+	cities       []graph.NodeID
+	universities []graph.NodeID
+	movies       []graph.NodeID
+	clubs        []graph.NodeID
+	events       []graph.NodeID
+	prizes       []graph.NodeID
+	commodities  []graph.NodeID
+	structures   []graph.NodeID
+	people       []graph.NodeID
+
+	// reserved nodes for the engineered clusters (excluded from random
+	// assignment so the paper's exact counts hold)
+	reservedUnis map[graph.NodeID]bool
+}
+
+func (g *gen) classify(n graph.NodeID, leaf string) {
+	for _, e := range g.ont.ClassAncestors(leaf) {
+		_ = g.b.AddEdge(n, graph.TypeLabel, g.b.AddNode(e.Name))
+	}
+}
+
+func (g *gen) node(name, leaf string) graph.NodeID {
+	n := g.b.AddNode(name)
+	g.classify(n, leaf)
+	return n
+}
+
+func (g *gen) edge(src graph.NodeID, label string, dst graph.NodeID) {
+	_ = g.b.AddEdge(src, label, dst)
+}
+
+func (g *gen) pick(pool []graph.NodeID) graph.NodeID {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// Generate deterministically builds the YAGO-shaped graph and its ontology.
+func Generate(cfg Config) (*graph.Graph, *ontology.Ontology) {
+	cfg = cfg.withDefaults()
+	ont := Ontology(cfg)
+	g := &gen{
+		cfg:          cfg,
+		b:            graph.NewBuilder(),
+		ont:          ont,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		reservedUnis: map[graph.NodeID]bool{},
+	}
+	// Class nodes exist in the data graph (targets of type edges, query
+	// constants).
+	for _, c := range ont.Classes() {
+		g.b.AddNode(c)
+	}
+	g.genPlaces()
+	g.genThings()
+	g.genClusters()
+	g.genPeople()
+	return g.b.Freeze(), ont
+}
+
+func (g *gen) genPlaces() {
+	// Countries, with currencies, trade and capitals. Country_0 is the UK.
+	for i := 0; i < g.cfg.Countries; i++ {
+		name := fmt.Sprintf("Country_%d", i)
+		if i == 0 {
+			name = "UK"
+		}
+		c := g.node(name, "wordnet_country")
+		g.countries = append(g.countries, c)
+		cur := g.node(fmt.Sprintf("Currency_%d", i), "wordnet_currency")
+		g.edge(c, "hasCurrency", cur)
+	}
+	for i, c := range g.countries {
+		g.edge(c, "dealsWith", g.countries[(i+1)%len(g.countries)])
+		g.edge(c, "hasNeighbor", g.countries[(i+2)%len(g.countries)])
+	}
+	// Cities, located in countries (locatedIn and isLocatedIn both carry the
+	// containment relation, as in YAGO CORE). City_0 is Halle_Saxony-Anhalt;
+	// London is the UK capital.
+	for i := 0; i < g.cfg.Cities; i++ {
+		name := fmt.Sprintf("City_%d", i)
+		switch i {
+		case 0:
+			name = "Halle_Saxony-Anhalt"
+		case 1:
+			name = "London"
+		}
+		city := g.node(name, "wordnet_city")
+		g.cities = append(g.cities, city)
+		country := g.pick(g.countries)
+		if i == 1 {
+			country = g.countries[0] // London is in the UK
+		}
+		g.edge(city, "locatedIn", country)
+		g.edge(city, "isLocatedIn", country)
+	}
+	g.edge(g.countries[0], "hasCapital", g.cities[1])
+	// Flight/rail connectivity between cities (Q5's isConnectedTo).
+	for i, city := range g.cities {
+		g.edge(city, "isConnectedTo", g.cities[(i+7)%len(g.cities)])
+		if g.rng.Intn(2) == 0 {
+			g.edge(city, "isConnectedTo", g.pick(g.cities))
+		}
+	}
+	// Universities, located in cities; half are additionally recorded as
+	// located in the UK, which feeds the paper's Example 1/2 pattern
+	// (UK ←isLocatedIn− university) and gives Q9's RELAX variant its
+	// distance-1 answers (university −locatedIn→ city via the property
+	// parent).
+	for i := 0; i < g.cfg.Universities; i++ {
+		u := g.node(fmt.Sprintf("University_%d", i), "wordnet_university")
+		g.universities = append(g.universities, u)
+		city := g.pick(g.cities)
+		g.edge(u, "locatedIn", city)
+		g.edge(u, "isLocatedIn", city)
+		if i%2 == 0 {
+			g.edge(u, "locatedIn", g.countries[0])
+			g.edge(u, "isLocatedIn", g.countries[0])
+		}
+	}
+	// Commodities and trade (Q6: imports.exports−).
+	for i := 0; i < g.cfg.Commodities; i++ {
+		g.commodities = append(g.commodities, g.node(fmt.Sprintf("Commodity_%d", i), "wordnet_commodity"))
+	}
+	for _, c := range g.countries {
+		n := 1 + g.rng.Intn(3)
+		for j := 0; j < n; j++ {
+			g.edge(c, "imports", g.pick(g.commodities))
+			g.edge(c, "exports", g.pick(g.commodities))
+		}
+	}
+}
+
+func (g *gen) genThings() {
+	for i := 0; i < g.cfg.Movies; i++ {
+		g.movies = append(g.movies, g.node(fmt.Sprintf("Movie_%d", i), "wordnet_movie"))
+	}
+	for i := 0; i < g.cfg.Clubs; i++ {
+		g.clubs = append(g.clubs, g.node(fmt.Sprintf("Club_%d", i), "wordnet_club"))
+	}
+	for i := 0; i < g.cfg.Prizes; i++ {
+		g.prizes = append(g.prizes, g.node(fmt.Sprintf("Prize_%d", i), "wordnet_prize"))
+	}
+	// Events happen in cities (Q7: type−.happenedIn−.participatedIn−).
+	for i := 0; i < g.cfg.Events; i++ {
+		e := g.node(fmt.Sprintf("Event_%d", i), "wordnet_event")
+		g.events = append(g.events, e)
+		g.edge(e, "happenedIn", g.pick(g.cities))
+	}
+	// Structures: ziggurats (which contain nothing: Q3 exact = 0) and
+	// museums/towers, which contain artifacts — that containment is what the
+	// RELAX version of Q3 reaches through the wordnet_structure parent.
+	for i := 0; i < g.cfg.Ziggurats; i++ {
+		z := g.node(fmt.Sprintf("Ziggurat_%d", i), "wordnet_ziggurat")
+		g.structures = append(g.structures, z)
+		g.edge(z, "locatedIn", g.pick(g.cities))
+	}
+	for i := 0; i < g.cfg.Structures; i++ {
+		leaf := "wordnet_museum"
+		if i%2 == 1 {
+			leaf = "wordnet_tower"
+		}
+		s := g.node(fmt.Sprintf("Structure_%d", i), leaf)
+		g.structures = append(g.structures, s)
+		g.edge(s, "locatedIn", g.pick(g.cities))
+	}
+	for i := 0; i < g.cfg.Artifacts; i++ {
+		a := g.node(fmt.Sprintf("Artifact_%d", i), "wordnet_artifact")
+		// Artifacts sit in museums/towers, never in ziggurats (Q3 exact = 0).
+		s := g.structures[g.cfg.Ziggurats+g.rng.Intn(len(g.structures)-g.cfg.Ziggurats)]
+		g.edge(a, "locatedIn", s)
+	}
+}
+
+// genClusters hand-builds the engineered seed entities the query constants
+// refer to.
+func (g *gen) genClusters() {
+	// Li Peng cluster (Q2: exactly 2 exact answers).
+	liPeng := g.node("Li_Peng", "wordnet_person")
+	uniA := g.node("University_Li_A", "wordnet_university")
+	uniB := g.node("University_Li_B", "wordnet_university")
+	g.reservedUnis[uniA] = true
+	g.reservedUnis[uniB] = true
+	g.edge(uniA, "locatedIn", g.pick(g.cities))
+	g.edge(uniB, "locatedIn", g.pick(g.cities))
+	kidA := g.node("Li_Xiaopeng", "wordnet_person")
+	kidB := g.node("Li_Xiaolin", "wordnet_person")
+	g.edge(liPeng, "hasChild", kidA)
+	g.edge(liPeng, "hasChild", kidB)
+	g.edge(kidA, "gradFrom", uniA)
+	g.edge(kidB, "gradFrom", uniB)
+	coA := g.node("Li_CoAlumnus_A", "wordnet_person")
+	coB := g.node("Li_CoAlumnus_B", "wordnet_person")
+	g.edge(coA, "gradFrom", uniA)
+	g.edge(coB, "gradFrom", uniB)
+	g.edge(coA, "hasWonPrize", g.prizes[0])
+	g.edge(coB, "hasWonPrize", g.prizes[1%len(g.prizes)])
+
+	// Halle cluster (Q1: a couple born in Halle with children).
+	halle := g.cities[0]
+	hans := g.node("Hans_Halle", "wordnet_person")
+	greta := g.node("Greta_Halle", "wordnet_person")
+	g.edge(hans, "bornIn", halle)
+	g.edge(hans, "marriedTo", greta)
+	kid1 := g.node("Halle_Kid_1", "wordnet_person")
+	kid2 := g.node("Halle_Kid_2", "wordnet_person")
+	g.edge(greta, "hasChild", kid1)
+	g.edge(greta, "hasChild", kid2)
+
+	// Annie Haslam (Q8 pivot; her class fan-out drives type.type−.actedIn).
+	annie := g.node("Annie_Haslam", "wordnet_person")
+	g.edge(annie, "actedIn", g.movies[0])
+	g.people = append(g.people, liPeng, kidA, kidB, coA, coB, hans, greta, kid1, kid2, annie)
+}
+
+func (g *gen) genPeople() {
+	ukPeople := 0
+	for i := 0; i < g.cfg.People; i++ {
+		p := g.node(fmt.Sprintf("Person_%d", i), "wordnet_person")
+		g.people = append(g.people, p)
+		city := g.pick(g.cities)
+		g.edge(p, "bornIn", city)
+		g.edge(p, "wasBornIn", city)
+		// livesIn: mostly a city, sometimes a country (Q9's livesIn− from UK).
+		if g.rng.Intn(10) == 0 {
+			country := g.pick(g.countries)
+			if ukPeople < 200 {
+				country = g.countries[0]
+				ukPeople++
+			}
+			g.edge(p, "livesIn", country)
+		} else {
+			g.edge(p, "livesIn", g.pick(g.cities))
+		}
+		g.edge(p, "isCitizenOf", g.pick(g.countries))
+		if g.rng.Intn(3) == 0 {
+			u := g.pick(g.universities)
+			for g.reservedUnis[u] {
+				u = g.pick(g.universities)
+			}
+			g.edge(p, "gradFrom", u)
+		}
+		if g.rng.Intn(10) == 0 {
+			g.edge(p, "worksAt", g.pick(g.universities))
+		}
+		if i > 0 && g.rng.Intn(3) == 0 {
+			g.edge(p, "marriedTo", g.people[g.rng.Intn(len(g.people))])
+		}
+		if i > 0 && g.rng.Intn(5) == 0 {
+			g.edge(p, "married", g.people[g.rng.Intn(len(g.people))])
+		}
+		if i > 0 && g.rng.Intn(2) == 0 {
+			g.edge(p, "hasChild", g.people[g.rng.Intn(len(g.people))])
+		}
+		switch i % 10 {
+		case 0, 1: // actors
+			g.edge(p, "actedIn", g.pick(g.movies))
+			if g.rng.Intn(2) == 0 {
+				g.edge(p, "actedIn", g.pick(g.movies))
+			}
+		case 2: // directors and crew
+			g.edge(p, "directed", g.pick(g.movies))
+			if g.rng.Intn(2) == 0 {
+				g.edge(p, "produced", g.pick(g.movies))
+			} else {
+				g.edge(p, "wrote", g.pick(g.movies))
+			}
+		case 3: // athletes
+			g.edge(p, "playsFor", g.pick(g.clubs))
+			g.edge(p, "isAffiliatedTo", g.pick(g.clubs))
+		case 4: // public figures
+			g.edge(p, "participatedIn", g.pick(g.events))
+			if g.rng.Intn(4) == 0 {
+				g.edge(p, "hasWonPrize", g.pick(g.prizes[2:]))
+			}
+			if g.rng.Intn(8) == 0 {
+				g.edge(p, "isPoliticianOf", g.pick(g.countries))
+			}
+			if g.rng.Intn(16) == 0 {
+				g.edge(p, "isLeaderOf", g.pick(g.countries))
+			}
+		case 5: // academics
+			if g.rng.Intn(2) == 0 && len(g.people) > 1 {
+				g.edge(p, "hasAcademicAdvisor", g.people[g.rng.Intn(len(g.people))])
+			}
+			g.edge(p, "influences", g.people[g.rng.Intn(len(g.people))])
+		case 6: // creators
+			a := g.node(fmt.Sprintf("Work_of_Person_%d", i), "wordnet_artifact")
+			g.edge(p, "created", a)
+			if g.rng.Intn(4) == 0 {
+				g.edge(p, "owns", g.pick(g.structures))
+			}
+		default:
+			if g.rng.Intn(3) == 0 {
+				g.edge(p, "participatedIn", g.pick(g.events))
+			}
+		}
+		if g.rng.Intn(50) == 0 {
+			g.edge(p, "diedIn", g.pick(g.cities))
+		}
+	}
+	// Official languages, one per country (keeps the property vocabulary
+	// fully populated).
+	for i, c := range g.countries {
+		lang := g.node(fmt.Sprintf("Language_%d", i%20), "wordnet_abstraction_leaf_0")
+		g.edge(c, "hasOfficialLanguage", lang)
+	}
+}

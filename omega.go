@@ -1,0 +1,203 @@
+// Package omega is a Go implementation of the Omega system from
+// "Implementing Flexible Operators for Regular Path Queries" (Selmer,
+// Poulovassilis, Wood — EDBT/ICDT 2015 workshops, GraphQ).
+//
+// Omega evaluates conjunctive regular path (CRP) queries over directed
+// edge-labelled graphs and extends them with two flexible operators:
+//
+//   - APPROX — approximate matching by weighted edit operations on the
+//     regular expression (insertion, deletion, substitution of edge labels);
+//   - RELAX — ontology-driven relaxation using RDFS inference (replace a
+//     class/property by a superclass/superproperty; replace a property by a
+//     type edge to its domain or range class).
+//
+// Answers are returned incrementally in non-decreasing distance from the
+// original query.
+//
+// # Quick start
+//
+//	b := omega.NewGraphBuilder()
+//	_ = b.AddTriple("alice", "knows", "bob")
+//	_ = b.AddTriple("bob", "knows", "carol")
+//	g := b.Freeze()
+//
+//	eng := omega.NewEngine(g, nil)
+//	rows, _ := eng.QueryText(`(?X) <- (alice, knows+, ?X)`)
+//	for {
+//		row, ok, _ := rows.Next()
+//		if !ok {
+//			break
+//		}
+//		fmt.Println(row.Labels, row.Dist)
+//	}
+//
+// See the examples directory for end-to-end programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// performance study.
+package omega
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/l4all"
+	"omega/internal/ontology"
+	"omega/internal/query"
+	"omega/internal/rpq"
+	"omega/internal/yago"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Graph is an immutable, frozen graph store.
+	Graph = graph.Graph
+	// GraphBuilder accumulates nodes and edges; Freeze yields a Graph.
+	GraphBuilder = graph.Builder
+	// NodeID identifies a node of a frozen Graph.
+	NodeID = graph.NodeID
+	// Ontology holds subclass/subproperty hierarchies with domains/ranges.
+	Ontology = ontology.Ontology
+	// Query is a parsed conjunctive regular path query.
+	Query = core.Query
+	// Conjunct is one body atom of a Query.
+	Conjunct = core.Conjunct
+	// Term is a conjunct endpoint: variable or constant.
+	Term = core.Term
+	// Options configures evaluation (costs, batching, optimisations).
+	Options = core.Options
+	// Mode selects EXACT, APPROX, RELAX or FLEX evaluation of a conjunct.
+	Mode = automaton.Mode
+	// EditCosts configures APPROX (insertion/deletion/substitution).
+	EditCosts = automaton.EditCosts
+	// RelaxCosts configures RELAX (β for rule i, γ for rule ii).
+	RelaxCosts = automaton.RelaxCosts
+	// QueryAnswer is a single result row (head bindings + total distance).
+	QueryAnswer = core.QueryAnswer
+	// QueryIterator yields QueryAnswers in non-decreasing distance.
+	QueryIterator = core.QueryIterator
+	// Stats carries evaluation counters (tuples, visited size, phases).
+	Stats = core.Stats
+	// PathExpr is a parsed regular path expression.
+	PathExpr = rpq.Expr
+)
+
+// Evaluation modes.
+const (
+	// Exact evaluates the query as written.
+	Exact = automaton.Exact
+	// Approx applies the edit-distance APPROX operator.
+	Approx = automaton.Approx
+	// Relax applies the ontology-driven RELAX operator.
+	Relax = automaton.Relax
+	// Flex applies both (extension beyond the paper).
+	Flex = automaton.Flex
+)
+
+// Direction selects which incident edges to follow in Graph traversal
+// helpers such as Graph.Neighbors.
+type Direction = graph.Direction
+
+// LabelID identifies an interned edge label of a Graph.
+type LabelID = graph.LabelID
+
+// Edge directions.
+const (
+	// Out follows edges from source to target.
+	Out = graph.Out
+	// In follows edges from target to source.
+	In = graph.In
+	// Both follows edges in either direction.
+	Both = graph.Both
+)
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode = graph.InvalidNode
+
+// ErrTupleBudget is returned when evaluation exceeds Options.MaxTuples.
+var ErrTupleBudget = core.ErrTupleBudget
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// NewOntology returns an empty ontology.
+func NewOntology() *Ontology { return ontology.New() }
+
+// ParseQuery parses the textual CRP query form, e.g.
+//
+//	(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)
+func ParseQuery(text string) (*Query, error) { return query.Parse(text) }
+
+// ParsePath parses a regular path expression, e.g. "isLocatedIn-.gradFrom".
+func ParsePath(text string) (*PathExpr, error) { return rpq.Parse(text) }
+
+// Open initialises evaluation of q and returns an iterator over its answers
+// in non-decreasing total distance.
+func Open(g *Graph, ont *Ontology, q *Query, opts Options) (QueryIterator, error) {
+	return core.OpenQuery(g, ont, q, opts)
+}
+
+// SaveGraph / LoadGraph serialise graphs in the omega-graph v1 text format.
+func SaveGraph(w io.Writer, g *Graph) error { return graph.Save(w, g) }
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.Load(r) }
+
+// SaveOntology / LoadOntology serialise ontologies in the omega-ontology v1
+// text format.
+func SaveOntology(w io.Writer, o *Ontology) error { return ontology.Save(w, o) }
+func LoadOntology(r io.Reader) (*Ontology, error) { return ontology.Load(r) }
+
+// LoadNTriples imports an RDF N-Triples document into the builder, returning
+// the number of triples read. IRIs are shortened to their local names unless
+// keepIRIs is set; rdf:type maps onto the reserved `type` edge label.
+func LoadNTriples(r io.Reader, b *GraphBuilder, keepIRIs bool) (int, error) {
+	return graph.LoadNTriples(r, b, keepIRIs)
+}
+
+// NamedQuery is a benchmark query with an identifier.
+type NamedQuery struct {
+	ID   string
+	Text string
+}
+
+// GenerateL4All builds the L4All data graph of §4.1 at scale "L1".."L4".
+func GenerateL4All(scale string) (*Graph, *Ontology, error) {
+	for _, s := range l4all.Scales() {
+		if strings.EqualFold(s.String(), scale) {
+			g, o := l4all.Generate(s)
+			return g, o, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("omega: unknown L4All scale %q (want L1..L4)", scale)
+}
+
+// L4AllQueries returns the 12 queries of Figure 4.
+func L4AllQueries() []NamedQuery {
+	var out []NamedQuery
+	for _, q := range l4all.Queries() {
+		out = append(out, NamedQuery{ID: q.ID, Text: q.Text})
+	}
+	return out
+}
+
+// GenerateYAGO builds the YAGO-shaped data graph of §4.2, scaled by factor
+// (1.0 is the laptop-sized default; the paper's dump is roughly 100×).
+func GenerateYAGO(factor float64) (*Graph, *Ontology) {
+	cfg := yago.DefaultConfig()
+	if factor > 0 && factor != 1.0 {
+		cfg = cfg.Scaled(factor)
+	}
+	return yago.Generate(cfg)
+}
+
+// YAGOQueries returns the 9 queries of Figure 9.
+func YAGOQueries() []NamedQuery {
+	var out []NamedQuery
+	for _, q := range yago.Queries() {
+		out = append(out, NamedQuery{ID: q.ID, Text: q.Text})
+	}
+	return out
+}
