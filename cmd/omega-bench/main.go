@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"omega/internal/bench"
@@ -46,6 +47,7 @@ func main() {
 		runs       = flag.Int("runs", 5, "runs per query (first discarded)")
 		maxAnswers = flag.Int("max-answers", 100, "answer budget for APPROX/RELAX")
 		yagoBudget = flag.Int("yago-budget", 5_000_000, "tuple budget for YAGO APPROX runs (reproduces the paper's '?' failures; 0 = unlimited)")
+		jsonDir    = flag.String("json", "", "directory to write per-experiment BENCH_<exp>.json files (timings, answers, tuples added/popped)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,13 @@ func main() {
 		Datasets:   bench.NewDatasets(ycfg),
 		YagoBudget: *yagoBudget,
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "omega-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Recorder = bench.NewRecorder()
+	}
 
 	want := map[string]bool{}
 	if *exp == "all" {
@@ -91,12 +100,22 @@ func main() {
 		if !want[e.name] {
 			continue
 		}
+		ecfg := cfg
+		ecfg.Experiment = e.name
 		fmt.Printf("== %s ==\n", e.title)
-		if err := e.run(cfg); err != nil {
+		if err := e.run(ecfg); err != nil {
 			fmt.Fprintf(os.Stderr, "omega-bench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
+		if cfg.Recorder != nil {
+			path := filepath.Join(*jsonDir, fmt.Sprintf("BENCH_%s.json", e.name))
+			if err := cfg.Recorder.WriteExperiment(path, e.name); err != nil {
+				fmt.Fprintf(os.Stderr, "omega-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -1,0 +1,3 @@
+module omega
+
+go 1.24

@@ -1,0 +1,103 @@
+package omega
+
+import (
+	"testing"
+
+	"omega/internal/l4all"
+)
+
+// TestL4AllCorpusDifferential runs the full L4All study corpus in every mode
+// with the bucket-queue D_R and with the retained naive reference dictionary
+// and requires byte-identical ranked answer sequences: same rows, same
+// distances, same order. Exact queries run to completion; APPROX and RELAX
+// pull a deep prefix (well past the study's top-100) to exercise the ranked
+// ordering far into the tail.
+func TestL4AllCorpusDifferential(t *testing.T) {
+	g, ont := datasets().L4All(l4all.L1)
+	for _, q := range l4all.Queries() {
+		for _, mode := range []Mode{Exact, Approx, Relax} {
+			limit := 0
+			if mode != Exact {
+				limit = 500
+			}
+			fast := collectAnswers(t, g, ont, q.Text, mode, Options{}, limit)
+			slow := collectAnswers(t, g, ont, q.Text, mode, Options{RefDict: true}, limit)
+			if len(fast) != len(slow) {
+				t.Fatalf("%s/%v: bucket queue emitted %d answers, reference dict %d",
+					q.ID, mode, len(fast), len(slow))
+			}
+			for i := range fast {
+				if !sameRow(fast[i], slow[i]) {
+					t.Fatalf("%s/%v answer %d differs:\n bucket queue: %+v\n reference:    %+v",
+						q.ID, mode, i, fast[i], slow[i])
+				}
+			}
+		}
+	}
+}
+
+// TestL4AllCorpusDeterministic pins run-to-run determinism of ranked
+// emission: two independent evaluations of the same query must produce
+// identical sequences (the automaton pipeline orders transitions totally, so
+// equal-distance ties break the same way every run).
+func TestL4AllCorpusDeterministic(t *testing.T) {
+	g, ont := datasets().L4All(l4all.L1)
+	for _, q := range l4all.Queries() {
+		a := collectAnswers(t, g, ont, q.Text, Approx, Options{}, 200)
+		b := collectAnswers(t, g, ont, q.Text, Approx, Options{}, 200)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d answers across identical runs", q.ID, len(a), len(b))
+		}
+		for i := range a {
+			if !sameRow(a[i], b[i]) {
+				t.Fatalf("%s answer %d differs across identical runs: %+v vs %+v", q.ID, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func sameRow(a, b QueryAnswer) bool {
+	if a.Dist != b.Dist || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAnswers evaluates text in the given mode and returns up to limit
+// answers (limit ≤ 0 = all).
+func collectAnswers(t *testing.T, g *Graph, ont *Ontology, text string, mode Mode, opts Options, limit int) []QueryAnswer {
+	t.Helper()
+	q, err := ParseQuery(text)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", text, err)
+	}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i].Mode = mode
+	}
+	it, err := Open(g, ont, q, opts)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", text, err)
+	}
+	var out []QueryAnswer
+	last := int32(-1)
+	for limit <= 0 || len(out) < limit {
+		a, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next(%q): %v", text, err)
+		}
+		if !ok {
+			break
+		}
+		if a.Dist < last {
+			t.Fatalf("%q: ranked order violated: distance %d after %d", text, a.Dist, last)
+		}
+		last = a.Dist
+		out = append(out, a)
+	}
+	return out
+}

@@ -106,12 +106,19 @@ func Compile(n *NFA, g *graph.Graph, ont *ontology.Ontology) (*Compiled, error) 
 
 	for s := range c.States {
 		ts := c.States[s]
+		// The order must be total: evaluation pushes successors in this
+		// order and D_R buckets are LIFO, so any tie left to the incoming
+		// (map-derived) transition order would make ranked emission
+		// nondeterministic between runs.
 		sort.Slice(ts, func(i, j int) bool {
 			ki, kj := groupKey(&ts[i]), groupKey(&ts[j])
 			if ki != kj {
 				return ki < kj
 			}
-			return ts[i].Cost < ts[j].Cost
+			if ts[i].Cost != ts[j].Cost {
+				return ts[i].Cost < ts[j].Cost
+			}
+			return ts[i].To < ts[j].To
 		})
 		var group int32 = -1
 		prevKey := ""

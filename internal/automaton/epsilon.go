@@ -1,5 +1,7 @@
 package automaton
 
+import "sort"
+
 // Weighted ε-removal (§3.3). Because the automaton is weighted, removing
 // ε-transitions may leave final states with an additional positive weight
 // (Droste, Kuich & Vogler): the weight of a state s is the cheapest ε-path
@@ -100,5 +102,29 @@ func (n *NFA) RemoveEpsilon() *NFA {
 			Dir: graphDir(k.dir), Cost: cost, TargetClass: k.targetClass, Expand: k.expand,
 		})
 	}
+	// best is a map: restore a deterministic transition order so downstream
+	// consumers (compilation, debugging dumps) never see map-iteration order.
+	sort.Slice(out.Trans, func(i, j int) bool {
+		a, b := out.Trans[i], out.Trans[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		if a.TargetClass != b.TargetClass {
+			return a.TargetClass < b.TargetClass
+		}
+		return !a.Expand && b.Expand
+	})
 	return out.Trim()
 }

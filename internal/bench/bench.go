@@ -54,6 +54,9 @@ type Measurement struct {
 	Total   time.Duration // average time to produce all counted answers
 	Batches []time.Duration
 	Failed  bool // tuple budget exhausted (the paper's '?')
+	// Evaluation counters from the last run (deterministic across runs).
+	TuplesAdded  int
+	TuplesPopped int
 }
 
 // DistBreakdown renders the Figure 5-style per-distance annotation, e.g.
@@ -173,6 +176,11 @@ func Run(g *graph.Graph, ont *ontology.Ontology, dataset, id, text string, mode 
 		m.Answers = answers
 		m.ByDist = byDist
 		m.Failed = failed
+		if sr, ok := it.(core.StatsReporter); ok {
+			s := sr.Stats()
+			m.TuplesAdded = s.TuplesAdded
+			m.TuplesPopped = s.TuplesPopped
+		}
 		if failed {
 			// A failed (budget-exhausted) query would fail identically on
 			// every run; repeating it only burns time (the paper reports

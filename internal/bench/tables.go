@@ -22,6 +22,10 @@ type Config struct {
 	// YagoBudget caps tuples for the YAGO APPROX runs, reproducing the
 	// paper's out-of-memory '?' entries (0 = unlimited).
 	YagoBudget int
+	// Recorder, when non-nil, accumulates machine-readable Records of every
+	// measurement under the Experiment name (omega-bench -json).
+	Recorder   *Recorder
+	Experiment string
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +104,7 @@ func Fig5(w io.Writer, cfg Config) error {
 				if err != nil {
 					return err
 				}
+				cfg.record(m)
 				fmt.Fprintf(tw, "\t%d", m.Answers)
 				breakdowns = append(breakdowns, m.DistBreakdown())
 			}
@@ -141,6 +146,7 @@ func figTimes(w io.Writer, cfg Config, mode automaton.Mode) error {
 			if err != nil {
 				return err
 			}
+			cfg.record(m)
 			fmt.Fprintf(tw, "\t%s", ms(m.Total.Nanoseconds()))
 		}
 		fmt.Fprintln(tw)
@@ -181,6 +187,7 @@ func Fig10(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
+			cfg.record(m)
 			if m.Failed {
 				fmt.Fprint(tw, "\t?")
 				breakdowns = append(breakdowns, "(budget)")
@@ -225,6 +232,7 @@ func Fig11(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
+			cfg.record(m)
 			if m.Failed {
 				fmt.Fprint(tw, "\t?")
 			} else {
@@ -269,12 +277,14 @@ func Opt1(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
+		cfg.record(m1)
 		daOpts := cfg.Opts
 		daOpts.DistanceAware = true
 		m2, err := Run(g, ont, t.dataset, t.id, t.text, automaton.Approx, daOpts, cfg.Proto)
 		if err != nil {
 			return err
 		}
+		cfg.record(m2)
 		speedup := float64(m1.Total) / float64(m2.Total)
 		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2fx\n", t.id, t.dataset, ms(m1.Total.Nanoseconds()), ms(m2.Total.Nanoseconds()), speedup)
 	}
@@ -299,6 +309,7 @@ func Opt2(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	cfg.record(m1)
 	fmt.Fprintf(tw, "single automaton\t%s\t%d\n", ms(m1.Total.Nanoseconds()), m1.Answers)
 	disj := cfg.Opts
 	disj.Disjunction = true
@@ -306,6 +317,7 @@ func Opt2(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	cfg.record(m2)
 	fmt.Fprintf(tw, "disjunction of sub-automata\t%s\t%d\n", ms(m2.Total.Nanoseconds()), m2.Answers)
 	return tw.Flush()
 }

@@ -147,6 +147,11 @@ type Options struct {
 	// SpillDir overrides the directory for spill files (default: the
 	// system temporary directory).
 	SpillDir string
+	// RefDict backs D_R with the naive reference dictionary (hash map plus
+	// binary heap) instead of the bucket queue. Both implementations emit
+	// identical ranked sequences; this exists for differential testing and
+	// benchmarking, not production use.
+	RefDict bool
 	// HashRankJoin evaluates multi-conjunct queries with a left-deep
 	// cascade of HRJN-style hash rank joins instead of the round-based
 	// ranked join. Both produce answers in non-decreasing total distance.

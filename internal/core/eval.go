@@ -37,6 +37,11 @@ type evaluator struct {
 	// cost of accepting it (0 for the constant, k·β for RELAX ancestors).
 	finalAnn map[graph.NodeID]int32
 
+	// scratch backs neighboursByEdge's multi-label / Both / TargetClass
+	// results, reused across expansions so the steady path allocates only
+	// when the frontier outgrows every previous one.
+	scratch []graph.NodeID
+
 	psi        int32 // -1 = unlimited
 	pruned     bool
 	seeded     bool
@@ -64,6 +69,8 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 		} else {
 			ev.dr = sd
 		}
+	case opts.RefDict:
+		ev.dr = dstruct.NewRefDict(opts.NoFinalFirst)
 	case opts.NoFinalFirst:
 		ev.dr = dstruct.NewDictNoFinalFirst()
 	default:
@@ -240,25 +247,30 @@ func (ev *evaluator) expand(t dstruct.Tuple) {
 // neighboursByEdge retrieves the neighbours of n reachable over the
 // transition's label set and direction (§3.4): for a wildcard it retrieves
 // all incident edges (the generic 'edge' type plus type edges of §3.2); a
-// TargetClass constraint keeps only the constrained landing node.
+// TargetClass constraint keeps only the constrained landing node. The common
+// single-label Out/In case aliases the graph's CSR storage directly; every
+// other shape is assembled in the evaluator's scratch buffer, so the steady
+// path is allocation-free either way. The returned slice is valid until the
+// next call.
 func (ev *evaluator) neighboursByEdge(n graph.NodeID, tr *automaton.CTrans) []graph.NodeID {
 	ev.stats.NeighborCalls++
-	var out []graph.NodeID
+	if tr.Kind == automaton.Sym && len(tr.Labels) == 1 && tr.Dir != graph.Both &&
+		tr.Target == graph.InvalidNode {
+		return ev.g.Neighbors(n, tr.Labels[0], tr.Dir)
+	}
+	out := ev.scratch[:0]
 	switch tr.Kind {
 	case automaton.Sym:
 		for _, l := range tr.Labels {
 			if tr.Dir == graph.Both {
-				out = append(out, ev.g.Neighbors(n, l, graph.Out)...)
-				out = append(out, ev.g.Neighbors(n, l, graph.In)...)
+				out = ev.g.AppendNeighbors(out, n, l, graph.Out)
+				out = ev.g.AppendNeighbors(out, n, l, graph.In)
 			} else {
-				out = append(out, ev.g.Neighbors(n, l, tr.Dir)...)
+				out = ev.g.AppendNeighbors(out, n, l, tr.Dir)
 			}
 		}
 	case automaton.Any:
-		ev.g.EachIncident(n, tr.Dir, func(_ graph.LabelID, m graph.NodeID) bool {
-			out = append(out, m)
-			return true
-		})
+		out = ev.g.AppendIncident(out, n, tr.Dir)
 	}
 	if tr.Target != graph.InvalidNode {
 		kept := out[:0]
@@ -269,6 +281,7 @@ func (ev *evaluator) neighboursByEdge(n graph.NodeID, tr *automaton.CTrans) []gr
 		}
 		out = kept
 	}
+	ev.scratch = out
 	return out
 }
 

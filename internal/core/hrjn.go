@@ -260,7 +260,7 @@ type hrjnQuery struct {
 	q       *Query
 	root    rankedInput
 	headIdx []int
-	emitted map[string]struct{}
+	emitted *projDedup
 }
 
 func newHRJNQuery(q *Query, its []Iterator) (*hrjnQuery, error) {
@@ -272,7 +272,7 @@ func newHRJNQuery(q *Query, its []Iterator) (*hrjnQuery, error) {
 	for i, v := range root.schema() {
 		pos[v] = i
 	}
-	hq := &hrjnQuery{q: q, root: root, emitted: map[string]struct{}{}}
+	hq := &hrjnQuery{q: q, root: root, emitted: newProjDedup(len(q.Head))}
 	for _, hv := range q.Head {
 		i, ok := pos[hv]
 		if !ok {
@@ -293,11 +293,9 @@ func (hq *hrjnQuery) Next() (QueryAnswer, bool, error) {
 		for i, idx := range hq.headIdx {
 			nodes[i] = row.nodes[idx]
 		}
-		k := projKey(nodes)
-		if _, dup := hq.emitted[k]; dup {
+		if !hq.emitted.add(nodes) {
 			continue
 		}
-		hq.emitted[k] = struct{}{}
 		return QueryAnswer{Head: hq.q.Head, Nodes: nodes, Dist: row.dist}, true, nil
 	}
 }

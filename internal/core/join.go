@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"omega/internal/dstruct"
 	"omega/internal/graph"
 	"omega/internal/ontology"
 )
@@ -52,7 +53,7 @@ func OpenQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options) (
 		its[i] = it
 	}
 	if len(q.Conjuncts) == 1 {
-		return &singleConjunct{q: q, it: its[0], emitted: map[string]struct{}{}}, nil
+		return &singleConjunct{q: q, it: its[0], dedup: newProjDedup(len(q.Head))}, nil
 	}
 	if opts.HashRankJoin {
 		return newHRJNQuery(q, its)
@@ -69,6 +70,39 @@ func projKey(nodes []graph.NodeID) string {
 	return b.String()
 }
 
+// projDedup de-duplicates projected head rows. Rows of width ≤ 2 pack their
+// bindings into one word probed in a flat dstruct.U64Set — NodeIDs are
+// non-negative int32s, so the packed word never sets bit 63, the set's
+// empty-slot marker. Wider heads fall back to a string-keyed map.
+type projDedup struct {
+	packed *dstruct.U64Set     // nil when width > 2
+	wide   map[string]struct{} // nil unless width > 2
+}
+
+func newProjDedup(width int) *projDedup {
+	if width > 2 {
+		return &projDedup{wide: map[string]struct{}{}}
+	}
+	return &projDedup{packed: dstruct.NewU64Set()}
+}
+
+// add records the row, reporting whether it was newly added.
+func (d *projDedup) add(nodes []graph.NodeID) bool {
+	if d.wide != nil {
+		k := projKey(nodes)
+		if _, dup := d.wide[k]; dup {
+			return false
+		}
+		d.wide[k] = struct{}{}
+		return true
+	}
+	k := uint64(uint32(nodes[0]))
+	if len(nodes) == 2 {
+		k = packPair(nodes[0], nodes[1])
+	}
+	return d.packed.Add(k)
+}
+
 // singleConjunct adapts a conjunct iterator directly (no join machinery), so
 // single-conjunct queries — the whole of the paper's performance study —
 // stream answers with no buffering. Projections that collapse answers (e.g.
@@ -77,24 +111,27 @@ func projKey(nodes []graph.NodeID) string {
 type singleConjunct struct {
 	q       *Query
 	it      Iterator
-	emitted map[string]struct{}
+	dedup   *projDedup
+	scratch []graph.NodeID
 }
 
 func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
 	c := s.q.Conjuncts[0]
+	if s.scratch == nil {
+		s.scratch = make([]graph.NodeID, len(s.q.Head))
+	}
 	for {
 		a, ok, err := s.it.Next()
 		if !ok || err != nil {
 			return QueryAnswer{}, false, err
 		}
-		nodes := make([]graph.NodeID, len(s.q.Head))
 		valid := true
 		for i, h := range s.q.Head {
 			switch {
 			case c.Subject.IsVar && c.Subject.Name == h:
-				nodes[i] = a.Src
+				s.scratch[i] = a.Src
 			case c.Object.IsVar && c.Object.Name == h:
-				nodes[i] = a.Dst
+				s.scratch[i] = a.Dst
 			default:
 				valid = false
 			}
@@ -102,11 +139,11 @@ func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
 		if !valid {
 			return QueryAnswer{}, false, fmt.Errorf("core: head variable not bound by conjunct")
 		}
-		k := projKey(nodes)
-		if _, dup := s.emitted[k]; dup {
+		if !s.dedup.add(s.scratch) {
 			continue
 		}
-		s.emitted[k] = struct{}{}
+		nodes := make([]graph.NodeID, len(s.scratch))
+		copy(nodes, s.scratch)
 		return QueryAnswer{Head: s.q.Head, Nodes: nodes, Dist: a.Dist}, true, nil
 	}
 }
@@ -163,14 +200,14 @@ type rankedJoin struct {
 	d       int32
 	queue   []QueryAnswer
 	qi      int
-	emitted map[string]struct{}
+	emitted *projDedup
 	done    bool
 }
 
 func newRankedJoin(q *Query, its []Iterator) *rankedJoin {
 	rj := &rankedJoin{
 		q:       q,
-		emitted: map[string]struct{}{},
+		emitted: newProjDedup(len(q.Head)),
 	}
 	for _, it := range its {
 		rj.its = append(rj.its, &peekIterator{it: it})
@@ -272,11 +309,9 @@ func (rj *rankedJoin) combine(i int, remaining int32, binding map[string]graph.N
 		for k, h := range rj.q.Head {
 			nodes[k] = binding[h]
 		}
-		key := projKey(nodes)
-		if _, dup := rj.emitted[key]; dup {
+		if !rj.emitted.add(nodes) {
 			return
 		}
-		rj.emitted[key] = struct{}{}
 		rj.queue = append(rj.queue, QueryAnswer{Head: rj.q.Head, Nodes: nodes, Dist: rj.d - 1})
 		return
 	}

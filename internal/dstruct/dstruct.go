@@ -3,11 +3,15 @@
 // implementation: the tuple dictionary D_R keyed by (distance, final-flag)
 // with O(1) insertion and removal at the head of each list, the hashed
 // visited set with O(1) lookup, and the answer registry answers_R.
+//
+// The hot-path structures are flat and index-addressed: D_R is a monotone
+// bucket queue (an array of per-distance tuple stacks with an advancing
+// cursor), and the visited set and answer registry are open-addressed hash
+// tables over packed integer keys. RefDict retains the original
+// map-plus-binary-heap dictionary as a differential-testing reference.
 package dstruct
 
 import (
-	"container/heap"
-
 	"omega/internal/graph"
 )
 
@@ -21,14 +25,39 @@ type Tuple struct {
 	Final bool
 }
 
+// bucket holds the tuples of one distance, split by final flag. Both lists
+// are LIFO stacks, matching the paper's add/remove at the head of a linked
+// list.
+type bucket struct {
+	final    []Tuple
+	nonFinal []Tuple
+}
+
+// maxBucketDist bounds the flat bucket array: distances in [0, maxBucketDist)
+// take the index-addressed fast path; anything else (negative or huge
+// distances, reachable only through extreme custom edit/relax costs) lands in
+// a sparse map+heap overflow so no cost configuration can panic the queue or
+// blow up its memory.
+const maxBucketDist = 1 << 16
+
 // Dict is the dictionary D_R. Keys order by distance ascending; at equal
 // distance, final tuples are removed before non-final ones — the refinement
 // §3.3 reports as returning answers earlier and rescuing queries that
-// previously exhausted memory. Within a key, tuples are a LIFO stack,
-// matching the paper's add/remove at the head of a linked list.
+// previously exhausted memory. Within a key, tuples are a LIFO stack.
+//
+// The implementation is a monotone bucket queue: buckets is indexed directly
+// by distance and cursor is a lower bound on the minimal non-empty distance.
+// GetNext pops in non-decreasing distance and every insertion is at a
+// distance no smaller than the last pop, so the cursor only advances;
+// insertions below the cursor (which evaluation never produces) pull it back,
+// keeping the structure correct for arbitrary workloads. Distances outside
+// [0, maxBucketDist) go to the sparse overflow dictionary; the two ranges are
+// disjoint, so overall ordering is negative overflow, then buckets, then
+// large overflow.
 type Dict struct {
-	lists        map[int64][]Tuple
-	keys         keyHeap
+	buckets      []bucket
+	cursor       int
+	overflow     *RefDict // lazily created; holds out-of-range distances
 	size         int
 	adds         int // total insertions over the Dict's lifetime
 	noFinalFirst bool
@@ -36,58 +65,101 @@ type Dict struct {
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{lists: make(map[int64][]Tuple)}
+	return &Dict{}
 }
 
 // NewDictNoFinalFirst returns a dictionary that orders purely by distance,
 // ignoring the final flag (ablation of the §3.3 refinement).
 func NewDictNoFinalFirst() *Dict {
-	return &Dict{lists: make(map[int64][]Tuple), noFinalFirst: true}
-}
-
-// key packs (distance, final) so that smaller distances sort first and, at
-// equal distance, final (bit 0 = 0) sorts before non-final.
-func key(d int32, final bool) int64 {
-	k := int64(d) << 1
-	if !final {
-		k |= 1
-	}
-	return k
-}
-
-func (dd *Dict) keyFor(t Tuple) int64 {
-	if dd.noFinalFirst {
-		return key(t.D, false)
-	}
-	return key(t.D, t.Final)
+	return &Dict{noFinalFirst: true}
 }
 
 // Add inserts t.
 func (dd *Dict) Add(t Tuple) {
-	k := dd.keyFor(t)
-	list, ok := dd.lists[k]
-	if !ok || len(list) == 0 {
-		heap.Push(&dd.keys, k)
+	d := int(t.D)
+	if d < 0 || d >= maxBucketDist {
+		if dd.overflow == nil {
+			dd.overflow = NewRefDict(dd.noFinalFirst)
+		}
+		dd.overflow.Add(t)
+		dd.size++
+		dd.adds++
+		return
 	}
-	dd.lists[k] = append(list, t)
+	if d >= len(dd.buckets) {
+		dd.grow(d)
+	}
+	b := &dd.buckets[d]
+	if t.Final && !dd.noFinalFirst {
+		b.final = append(b.final, t)
+	} else {
+		b.nonFinal = append(b.nonFinal, t)
+	}
+	if d < dd.cursor {
+		dd.cursor = d
+	}
 	dd.size++
 	dd.adds++
 }
 
+// grow extends buckets to cover distance d, over-allocating to amortise
+// repeated extension as the search frontier deepens.
+func (dd *Dict) grow(d int) {
+	capWant := d + 1
+	if c := 2 * len(dd.buckets); c > capWant {
+		capWant = c
+	}
+	if capWant > maxBucketDist {
+		capWant = maxBucketDist
+	}
+	next := make([]bucket, capWant)
+	copy(next, dd.buckets)
+	dd.buckets = next
+}
+
+// negOverflowMin returns the minimal overflow distance when it is negative —
+// negative distances order before every bucket.
+func (dd *Dict) negOverflowMin() (int32, bool) {
+	if dd.overflow == nil || dd.overflow.Len() == 0 {
+		return 0, false
+	}
+	if md, ok := dd.overflow.MinDistance(); ok && md < 0 {
+		return md, true
+	}
+	return 0, false
+}
+
 // Remove pops the tuple with minimal key (distance first, final preferred).
 func (dd *Dict) Remove() (Tuple, bool) {
-	for dd.keys.Len() > 0 {
-		k := dd.keys[0]
-		list := dd.lists[k]
-		if len(list) == 0 {
-			heap.Pop(&dd.keys)
-			delete(dd.lists, k)
-			continue
+	if _, neg := dd.negOverflowMin(); neg {
+		t, ok := dd.overflow.Remove()
+		if ok {
+			dd.size--
 		}
-		t := list[len(list)-1]
-		dd.lists[k] = list[:len(list)-1]
-		dd.size--
-		return t, true
+		return t, ok
+	}
+	for dd.cursor < len(dd.buckets) {
+		b := &dd.buckets[dd.cursor]
+		if n := len(b.final); n > 0 {
+			t := b.final[n-1]
+			b.final = b.final[:n-1]
+			dd.size--
+			return t, true
+		}
+		if n := len(b.nonFinal); n > 0 {
+			t := b.nonFinal[n-1]
+			b.nonFinal = b.nonFinal[:n-1]
+			dd.size--
+			return t, true
+		}
+		dd.cursor++
+	}
+	if dd.overflow != nil {
+		t, ok := dd.overflow.Remove()
+		if ok {
+			dd.size--
+		}
+		return t, ok
 	}
 	return Tuple{}, false
 }
@@ -103,68 +175,119 @@ func (dd *Dict) Adds() int { return dd.adds }
 // to decide when to pull the next batch of initial nodes ("no distance 0
 // tuples in D_R", §3.4 lines 15–17).
 func (dd *Dict) MinDistance() (int32, bool) {
-	for dd.keys.Len() > 0 {
-		k := dd.keys[0]
-		if len(dd.lists[k]) == 0 {
-			heap.Pop(&dd.keys)
-			delete(dd.lists, k)
-			continue
+	if md, neg := dd.negOverflowMin(); neg {
+		return md, true
+	}
+	for dd.cursor < len(dd.buckets) {
+		b := &dd.buckets[dd.cursor]
+		if len(b.final) > 0 || len(b.nonFinal) > 0 {
+			return int32(dd.cursor), true
 		}
-		return int32(k >> 1), true
+		dd.cursor++
+	}
+	if dd.overflow != nil {
+		return dd.overflow.MinDistance()
 	}
 	return 0, false
 }
 
-type keyHeap []int64
+// Err implements TupleDict for the in-memory Dict.
+func (dd *Dict) Err() error { return nil }
 
-func (h keyHeap) Len() int            { return len(h) }
-func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *keyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	k := old[n-1]
-	*h = old[:n-1]
-	return k
-}
+// Close implements TupleDict for the in-memory Dict.
+func (dd *Dict) Close() error { return nil }
 
-// Visited is the hashed set of processed (v, n, s) triples (visited_R).
+// Visited is the hashed set of processed (v, n, s) triples (visited_R). It
+// is an open-addressed, linear-probed table over the packed (v, n) word and
+// the state; states must be non-negative (s+1 is the occupancy marker).
 type Visited struct {
-	m map[visKey]struct{}
+	entries []visEntry
+	n       int
 }
 
-type visKey struct {
+type visEntry struct {
 	vn uint64
-	s  int32
+	s1 int32 // state+1; 0 marks an empty slot
 }
+
+const visitedMinCap = 64 // power of two
 
 // NewVisited returns an empty visited set.
-func NewVisited() *Visited { return &Visited{m: make(map[visKey]struct{})} }
+func NewVisited() *Visited {
+	return &Visited{entries: make([]visEntry, visitedMinCap)}
+}
 
 func pack(v, n graph.NodeID) uint64 {
 	return uint64(uint32(v))<<32 | uint64(uint32(n))
 }
 
+// hashKey mixes the packed node pair and state (splitmix64-style finaliser).
+func hashKey(vn uint64, s int32) uint64 {
+	h := vn ^ uint64(uint32(s))*0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
 // Add inserts (v, n, s), reporting whether it was newly added. The paper
 // executes the membership test and the insertion "as a single step" (§3.4).
 func (vs *Visited) Add(v, n graph.NodeID, s int32) bool {
-	k := visKey{pack(v, n), s}
-	if _, ok := vs.m[k]; ok {
-		return false
+	if 4*(vs.n+1) > 3*len(vs.entries) {
+		vs.rehash(2 * len(vs.entries))
 	}
-	vs.m[k] = struct{}{}
-	return true
+	vn := pack(v, n)
+	mask := uint64(len(vs.entries) - 1)
+	i := hashKey(vn, s) & mask
+	for {
+		e := &vs.entries[i]
+		if e.s1 == 0 {
+			e.vn, e.s1 = vn, s+1
+			vs.n++
+			return true
+		}
+		if e.vn == vn && e.s1 == s+1 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // Contains reports whether (v, n, s) has been processed.
 func (vs *Visited) Contains(v, n graph.NodeID, s int32) bool {
-	_, ok := vs.m[visKey{pack(v, n), s}]
-	return ok
+	vn := pack(v, n)
+	mask := uint64(len(vs.entries) - 1)
+	i := hashKey(vn, s) & mask
+	for {
+		e := &vs.entries[i]
+		if e.s1 == 0 {
+			return false
+		}
+		if e.vn == vn && e.s1 == s+1 {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (vs *Visited) rehash(newCap int) {
+	old := vs.entries
+	vs.entries = make([]visEntry, newCap)
+	mask := uint64(newCap - 1)
+	for _, e := range old {
+		if e.s1 == 0 {
+			continue
+		}
+		i := hashKey(e.vn, e.s1-1) & mask
+		for vs.entries[i].s1 != 0 {
+			i = (i + 1) & mask
+		}
+		vs.entries[i] = e
+	}
 }
 
 // Len returns the number of stored triples.
-func (vs *Visited) Len() int { return len(vs.m) }
+func (vs *Visited) Len() int { return vs.n }
 
 // Answer is one produced conjunct answer (v, n, d).
 type Answer struct {
@@ -172,29 +295,103 @@ type Answer struct {
 	Dist     int32
 }
 
+// U64Set is an open-addressed, linear-probed set of uint64 keys whose bit 63
+// is never set — which holds for every key packed from non-negative int32
+// pairs — so a word with bit 63 set can mark empty slots. It backs the
+// answer-registry pair set here and the projection de-duplication in the
+// join layer.
+type U64Set struct {
+	entries []uint64
+	n       int
+}
+
+// u64Empty marks an empty slot; packed keys never set bit 63.
+const u64Empty = uint64(1) << 63
+
+// NewU64Set returns an empty set.
+func NewU64Set() *U64Set {
+	s := &U64Set{entries: make([]uint64, visitedMinCap)}
+	for i := range s.entries {
+		s.entries[i] = u64Empty
+	}
+	return s
+}
+
+// Add inserts k, reporting whether it was newly added.
+func (s *U64Set) Add(k uint64) bool {
+	if 4*(s.n+1) > 3*len(s.entries) {
+		s.rehash(2 * len(s.entries))
+	}
+	mask := uint64(len(s.entries) - 1)
+	i := hashKey(k, 0) & mask
+	for s.entries[i] != u64Empty {
+		if s.entries[i] == k {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.entries[i] = k
+	s.n++
+	return true
+}
+
+// Contains reports whether k is in the set.
+func (s *U64Set) Contains(k uint64) bool {
+	mask := uint64(len(s.entries) - 1)
+	i := hashKey(k, 0) & mask
+	for s.entries[i] != u64Empty {
+		if s.entries[i] == k {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+	return false
+}
+
+// Len returns the number of stored keys.
+func (s *U64Set) Len() int { return s.n }
+
+func (s *U64Set) rehash(newCap int) {
+	old := s.entries
+	s.entries = make([]uint64, newCap)
+	for i := range s.entries {
+		s.entries[i] = u64Empty
+	}
+	mask := uint64(newCap - 1)
+	for _, k := range old {
+		if k == u64Empty {
+			continue
+		}
+		i := hashKey(k, 0) & mask
+		for s.entries[i] != u64Empty {
+			i = (i + 1) & mask
+		}
+		s.entries[i] = k
+	}
+}
+
 // Answers is the registry answers_R: it remembers every (v, n) pair already
 // emitted so the same pair is never returned at a higher distance.
 type Answers struct {
-	m     map[uint64]int32
+	pairs *U64Set
 	order []Answer
 }
 
 // NewAnswers returns an empty registry.
-func NewAnswers() *Answers { return &Answers{m: make(map[uint64]int32)} }
+func NewAnswers() *Answers {
+	return &Answers{pairs: NewU64Set()}
+}
 
 // Has reports whether (v, n) was already emitted at some distance.
 func (a *Answers) Has(v, n graph.NodeID) bool {
-	_, ok := a.m[pack(v, n)]
-	return ok
+	return a.pairs.Contains(pack(v, n))
 }
 
 // Add records (v, n, d) if the pair is new, reporting whether it was added.
 func (a *Answers) Add(v, n graph.NodeID, d int32) bool {
-	k := pack(v, n)
-	if _, ok := a.m[k]; ok {
+	if !a.pairs.Add(pack(v, n)) {
 		return false
 	}
-	a.m[k] = d
 	a.order = append(a.order, Answer{Src: v, Dst: n, Dist: d})
 	return true
 }

@@ -1,0 +1,110 @@
+package dstruct
+
+import "container/heap"
+
+// RefDict is the original D_R implementation: per-key tuple lists in a Go
+// map, ordered by a binary heap of packed (distance, final) keys. It is
+// retained as a naive reference for differential tests of the bucket-queue
+// Dict (both must produce byte-identical pop sequences) and is not used on
+// the evaluation hot path.
+type RefDict struct {
+	lists        map[int64][]Tuple
+	keys         keyHeap
+	size         int
+	adds         int
+	noFinalFirst bool
+}
+
+// NewRefDict returns an empty reference dictionary.
+func NewRefDict(noFinalFirst bool) *RefDict {
+	return &RefDict{lists: make(map[int64][]Tuple), noFinalFirst: noFinalFirst}
+}
+
+// key packs (distance, final) so that smaller distances sort first and, at
+// equal distance, final (bit 0 = 0) sorts before non-final.
+func key(d int32, final bool) int64 {
+	k := int64(d) << 1
+	if !final {
+		k |= 1
+	}
+	return k
+}
+
+func (dd *RefDict) keyFor(t Tuple) int64 {
+	if dd.noFinalFirst {
+		return key(t.D, false)
+	}
+	return key(t.D, t.Final)
+}
+
+// Add inserts t.
+func (dd *RefDict) Add(t Tuple) {
+	k := dd.keyFor(t)
+	list, ok := dd.lists[k]
+	if !ok || len(list) == 0 {
+		heap.Push(&dd.keys, k)
+	}
+	dd.lists[k] = append(list, t)
+	dd.size++
+	dd.adds++
+}
+
+// Remove pops the tuple with minimal key (distance first, final preferred).
+func (dd *RefDict) Remove() (Tuple, bool) {
+	for dd.keys.Len() > 0 {
+		k := dd.keys[0]
+		list := dd.lists[k]
+		if len(list) == 0 {
+			heap.Pop(&dd.keys)
+			delete(dd.lists, k)
+			continue
+		}
+		t := list[len(list)-1]
+		dd.lists[k] = list[:len(list)-1]
+		dd.size--
+		return t, true
+	}
+	return Tuple{}, false
+}
+
+// Len returns the number of stored tuples.
+func (dd *RefDict) Len() int { return dd.size }
+
+// Adds returns the lifetime number of insertions.
+func (dd *RefDict) Adds() int { return dd.adds }
+
+// MinDistance returns the smallest distance present, if any.
+func (dd *RefDict) MinDistance() (int32, bool) {
+	for dd.keys.Len() > 0 {
+		k := dd.keys[0]
+		if len(dd.lists[k]) == 0 {
+			heap.Pop(&dd.keys)
+			delete(dd.lists, k)
+			continue
+		}
+		return int32(k >> 1), true
+	}
+	return 0, false
+}
+
+// Err implements TupleDict.
+func (dd *RefDict) Err() error { return nil }
+
+// Close implements TupleDict.
+func (dd *RefDict) Close() error { return nil }
+
+var _ TupleDict = (*RefDict)(nil)
+
+type keyHeap []int64
+
+func (h keyHeap) Len() int            { return len(h) }
+func (h keyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	k := old[n-1]
+	*h = old[:n-1]
+	return k
+}

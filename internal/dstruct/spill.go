@@ -24,12 +24,6 @@ type TupleDict interface {
 	Close() error
 }
 
-// Err implements TupleDict for the in-memory Dict.
-func (dd *Dict) Err() error { return nil }
-
-// Close implements TupleDict for the in-memory Dict.
-func (dd *Dict) Close() error { return nil }
-
 var _ TupleDict = (*Dict)(nil)
 var _ TupleDict = (*SpillDict)(nil)
 

@@ -157,21 +157,21 @@ func (b *Builder) AddTriple(srcLabel, edgeLabel, dstLabel string) error {
 	return b.AddEdge(b.AddNode(srcLabel), edgeLabel, b.AddNode(dstLabel))
 }
 
-// adjacency is a sparse CSR: only nodes with at least one edge of the label
-// and direction appear in srcs.
+// adjacency is a dense CSR: off has numNodes+1 entries and is indexed
+// directly by NodeID, so a neighbour lookup is two array reads with no
+// hashing. srcs keeps the sorted set of nodes with at least one edge for
+// Tails/Heads, which want only non-isolated nodes.
 type adjacency struct {
-	srcs []NodeID // sorted, unique
-	off  []int32  // len(srcs)+1
+	srcs []NodeID // sorted, unique nodes with ≥1 edge
+	off  []int32  // len(numNodes)+1, indexed by NodeID
 	dsts []NodeID // concatenated neighbour lists, each sorted
-	idx  map[NodeID]int32
 }
 
 func (a *adjacency) neighbors(n NodeID) []NodeID {
-	i, ok := a.idx[n]
-	if !ok {
+	if n < 0 || int(n)+1 >= len(a.off) {
 		return nil
 	}
-	return a.dsts[a.off[i]:a.off[i+1]]
+	return a.dsts[a.off[n]:a.off[n+1]]
 }
 
 // Graph is a frozen, immutable graph store. Safe for concurrent readers.
@@ -216,14 +216,15 @@ func (b *Builder) Freeze() *Graph {
 		byLabel[e.label] = append(byLabel[e.label], e)
 		g.edgeCount[e.label]++
 	}
+	numNodes := len(b.nodeLabels)
 	for l, edges := range byLabel {
-		g.out[l] = buildAdjacency(edges, false)
-		g.in[l] = buildAdjacency(edges, true)
+		g.out[l] = buildAdjacency(edges, false, numNodes)
+		g.in[l] = buildAdjacency(edges, true, numNodes)
 	}
 	return g
 }
 
-func buildAdjacency(edges []rawEdge, reverse bool) adjacency {
+func buildAdjacency(edges []rawEdge, reverse bool, numNodes int) adjacency {
 	type pair struct{ a, b NodeID }
 	pairs := make([]pair, len(edges))
 	for i, e := range edges {
@@ -240,18 +241,19 @@ func buildAdjacency(edges []rawEdge, reverse bool) adjacency {
 		return pairs[i].b < pairs[j].b
 	})
 	var adj adjacency
-	adj.idx = make(map[NodeID]int32)
+	adj.off = make([]int32, numNodes+1)
 	adj.dsts = make([]NodeID, 0, len(pairs))
-	for i := 0; i < len(pairs); {
-		src := pairs[i].a
-		adj.idx[src] = int32(len(adj.srcs))
-		adj.srcs = append(adj.srcs, src)
-		adj.off = append(adj.off, int32(len(adj.dsts)))
-		for ; i < len(pairs) && pairs[i].a == src; i++ {
-			adj.dsts = append(adj.dsts, pairs[i].b)
+	i := 0
+	for n := 0; n < numNodes; n++ {
+		adj.off[n] = int32(len(adj.dsts))
+		if i < len(pairs) && pairs[i].a == NodeID(n) {
+			adj.srcs = append(adj.srcs, NodeID(n))
+			for ; i < len(pairs) && pairs[i].a == NodeID(n); i++ {
+				adj.dsts = append(adj.dsts, pairs[i].b)
+			}
 		}
 	}
-	adj.off = append(adj.off, int32(len(adj.dsts)))
+	adj.off[numNodes] = int32(len(adj.dsts))
 	return adj
 }
 
@@ -384,6 +386,38 @@ func (g *Graph) EachIncident(n NodeID, dir Direction, fn func(l LabelID, m NodeI
 			}
 		}
 	}
+}
+
+// AppendNeighbors appends the neighbours of n along l in direction dir to
+// dst and returns the extended slice. For Both the Out list precedes the In
+// list. It performs no allocation beyond growing dst.
+func (g *Graph) AppendNeighbors(dst []NodeID, n NodeID, l LabelID, dir Direction) []NodeID {
+	if l < 0 || int(l) >= len(g.out) {
+		return dst
+	}
+	if dir == Out || dir == Both {
+		dst = append(dst, g.out[l].neighbors(n)...)
+	}
+	if dir == In || dir == Both {
+		dst = append(dst, g.in[l].neighbors(n)...)
+	}
+	return dst
+}
+
+// AppendIncident appends every neighbour over every incident edge of n in
+// direction dir (all labels including type, Out before In per label) to dst
+// and returns the extended slice. It is the allocation-free counterpart of
+// EachIncident for callers that want the flat neighbour list.
+func (g *Graph) AppendIncident(dst []NodeID, n NodeID, dir Direction) []NodeID {
+	for l := range g.out {
+		if dir == Out || dir == Both {
+			dst = append(dst, g.out[l].neighbors(n)...)
+		}
+		if dir == In || dir == Both {
+			dst = append(dst, g.in[l].neighbors(n)...)
+		}
+	}
+	return dst
 }
 
 // Tails returns the nodes that are the source of at least one edge labelled

@@ -39,8 +39,8 @@ func Save(w io.Writer, g *Graph) error {
 	}
 	for l := range g.out {
 		adj := &g.out[l]
-		for i, src := range adj.srcs {
-			for _, dst := range adj.dsts[adj.off[i]:adj.off[i+1]] {
+		for _, src := range adj.srcs {
+			for _, dst := range adj.neighbors(src) {
 				fmt.Fprintf(bw, "E %d %d %d\n", src, l, dst)
 			}
 		}
