@@ -111,8 +111,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%d answers in %v\n", count, elapsed)
 	if *stats {
 		s := rows.Stats()
-		fmt.Fprintf(os.Stderr, "tuples added=%d popped=%d visited=%d phases=%d neighbour-calls=%d cache-hits=%d\n",
-			s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.NeighborCalls, s.CacheHits)
+		fmt.Fprintf(os.Stderr, "tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
+			s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)
 	}
 }
 

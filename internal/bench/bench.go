@@ -57,6 +57,8 @@ type Measurement struct {
 	// Evaluation counters from the last run (deterministic across runs).
 	TuplesAdded  int
 	TuplesPopped int
+	Phases       int // distance-aware ψ phases (1 otherwise)
+	Reinjected   int // deferred tuples re-admitted (incremental mode only)
 }
 
 // DistBreakdown renders the Figure 5-style per-distance annotation, e.g.
@@ -180,6 +182,8 @@ func Run(g *graph.Graph, ont *ontology.Ontology, dataset, id, text string, mode 
 			s := sr.Stats()
 			m.TuplesAdded = s.TuplesAdded
 			m.TuplesPopped = s.TuplesPopped
+			m.Phases = s.Phases
+			m.Reinjected = s.Reinjected
 		}
 		if failed {
 			// A failed (budget-exhausted) query would fail identically on

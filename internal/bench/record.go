@@ -19,7 +19,9 @@ type Record struct {
 	Answers      int     `json:"answers"`
 	TuplesAdded  int     `json:"tuples_added"`
 	TuplesPopped int     `json:"tuples_popped"`
-	Failed       bool    `json:"failed"` // tuple budget exhausted ('?')
+	Phases       int     `json:"phases"`     // distance-aware ψ phases (1 otherwise)
+	Reinjected   int     `json:"reinjected"` // deferred tuples re-admitted (incremental distance-aware)
+	Failed       bool    `json:"failed"`     // tuple budget exhausted ('?')
 }
 
 // Recorder accumulates Records across experiments. Safe for concurrent use.
@@ -96,6 +98,8 @@ func (c Config) record(m Measurement) {
 		Answers:      m.Answers,
 		TuplesAdded:  m.TuplesAdded,
 		TuplesPopped: m.TuplesPopped,
+		Phases:       m.Phases,
+		Reinjected:   m.Reinjected,
 		Failed:       m.Failed,
 	})
 }

@@ -16,8 +16,9 @@ func packPair(v, n graph.NodeID) uint64 {
 // conjunctPlan is the reusable part of conjunct initialisation: compiled
 // automata (one per alternand when decomposing, else a single automaton for
 // the whole expression), Case 1 seeds, and the final-state annotation.
-// Evaluators are cheap to spin up from a plan, which is what the
-// distance-aware mode needs (it restarts evaluation at each ψ increment).
+// Evaluators are cheap to spin up from a plan, which is what the disjunction
+// strategy and the restart-based distance-aware reference need (both build
+// fresh evaluators per phase; the default distance-aware mode resumes one).
 type conjunctPlan struct {
 	g    *graph.Graph
 	ont  *ontology.Ontology
@@ -291,7 +292,11 @@ func OpenConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Optio
 	case decompose:
 		it = newDisjunction(plan, phi, maxPsi)
 	case opts.DistanceAware && c.Mode != automaton.Exact:
-		it = newDistanceAware(func(psi int32) *evaluator { return plan.newEvaluator(0, psi) }, phi, maxPsi)
+		if opts.DistanceRestart {
+			it = newRestartDistanceAware(func(psi int32) *evaluator { return plan.newEvaluator(0, psi) }, phi, maxPsi)
+		} else {
+			it = newDistanceAware(plan.newEvaluator(0, 0), phi, maxPsi)
+		}
 	default:
 		it = plan.newEvaluator(0, -1)
 	}

@@ -107,9 +107,19 @@ type Options struct {
 	// batch in Open's Case 3 (§3.3); 0 means the paper's default of 100.
 	BatchSize int
 	// DistanceAware enables §4.3's "retrieving answers by distance": a
-	// cost cap ψ stepped by the smallest operation cost φ, re-evaluating
-	// from scratch at each increment.
+	// cost cap ψ stepped by the smallest operation cost φ. Tuples that
+	// exceed the current ψ are parked in a deferred frontier and re-injected
+	// into the same live evaluator when ψ is raised, so no phase recomputes
+	// the work of its predecessors (the paper's description restarts
+	// evaluation from scratch at each increment; see DistanceRestart).
 	DistanceAware bool
+	// DistanceRestart backs the distance-aware mode with the paper's naive
+	// per-phase restart driver (a fresh evaluator at every ψ increment)
+	// instead of the resumable incremental evaluator. Both emit identical
+	// ranked sequences; this exists for differential testing and
+	// benchmarking, not production use — the RefDict pattern applied to
+	// ψ-stepping.
+	DistanceRestart bool
 	// MaxPsi caps the ψ stepping (distance-aware mode only); 0 means 16·φ.
 	// Answers beyond MaxPsi are not returned in distance-aware mode.
 	MaxPsi int32
@@ -209,9 +219,17 @@ type Stats struct {
 	TuplesAdded   int
 	TuplesPopped  int
 	VisitedSize   int
-	Phases        int // distance-aware restarts (1 when not distance-aware)
+	Phases        int // distance-aware ψ phases (1 when not distance-aware)
 	NeighborCalls int
 	CacheHits     int // Succ U-cache reuses
+	// Deferred counts tuples parked in the deferred frontier because their
+	// distance exceeded the ψ of the phase that generated them; Reinjected
+	// counts deferred tuples re-admitted into D_R at a later phase. Both are
+	// zero outside the incremental distance-aware mode — in particular, a
+	// distance-aware run with Reinjected == 0 but more than one phase has
+	// silently fallen back to restart-style recomputation.
+	Deferred   int
+	Reinjected int
 }
 
 // StatsReporter is implemented by iterators that can report Stats.

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"omega/internal/dstruct"
+)
 
 // disjunction implements §4.3's "replacing alternation by disjunction": the
 // NFA for R = R1|R2|… is decomposed into sub-automata NFA_i. Distance-0
@@ -25,7 +29,7 @@ type disjunction struct {
 	order      []int
 	oi         int
 	cur        *evaluator
-	emitted    map[uint64]struct{}
+	emitted    *dstruct.U64Set
 	anyPruned  bool
 	done       bool
 	stats      Stats
@@ -37,7 +41,7 @@ func newDisjunction(plan *conjunctPlan, phi, maxPsi int32) *disjunction {
 		phi:        phi,
 		maxPsi:     maxPsi,
 		prevCounts: make([]int, len(plan.auts)),
-		emitted:    map[uint64]struct{}{},
+		emitted:    dstruct.NewU64Set(),
 	}
 	d.startPhase()
 	return d
@@ -96,11 +100,9 @@ func (d *disjunction) Next() (Answer, bool, error) {
 			d.oi++
 			continue
 		}
-		k := packPair(a.Src, a.Dst)
-		if _, dup := d.emitted[k]; dup {
+		if !d.emitted.Add(packPair(a.Src, a.Dst)) {
 			continue // found in an earlier phase or by an earlier branch
 		}
-		d.emitted[k] = struct{}{}
 		d.counts[d.order[d.oi]]++
 		return a, true, nil
 	}

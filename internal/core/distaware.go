@@ -1,30 +1,146 @@
 package core
 
-// distanceAware implements §4.3's "retrieving answers by distance": a
-// current maximum cost ψ starts at 0; no tuple with a larger cost is ever
-// added to or removed from D_R. When more answers are needed, ψ is
-// incremented by φ (the smallest edit/relaxation cost) and evaluation
-// restarts from the beginning. The paper notes this is unsuitable when
-// high-cost answers are wanted; MaxPsi bounds the stepping.
+import "omega/internal/dstruct"
+
+// distanceAware implements §4.3's "retrieving answers by distance": a current
+// maximum cost ψ starts at 0; no tuple with a larger cost is ever added to or
+// removed from D_R. When more answers are needed, ψ is incremented by φ (the
+// smallest edit/relaxation cost), bounded by MaxPsi. Phase ψ finds every
+// answer of distance ≤ ψ, so answers new to a phase have distance in
+// (ψ−φ, ψ]: emission stays globally monotone.
+//
+// The paper describes each ψ increment as a restart from the beginning,
+// which redoes all the work of every earlier phase. This driver instead
+// resumes: the single live evaluator parks over-ψ tuples in a deferred
+// frontier, and each phase step re-injects the newly admissible tuples into
+// the warm D_R / visited table / answer registry and continues. The pop
+// trace restricted to distances ≤ ψ is identical either way, so ranked
+// emission is byte-identical to the restart-based reference
+// (restartDistanceAware, behind Options.DistanceRestart) — every tuple is
+// now popped at most once across all phases instead of once per surviving
+// phase. A further consequence of the warm frontier: phases that would
+// re-admit nothing (no deferred tuple in (ψ, ψ+φ]) are skipped outright by
+// stepping ψ straight to the next populated φ-grid point.
 type distanceAware struct {
+	cur    *evaluator
+	phi    int32
+	maxPsi int32
+	psi    int32
+	done   bool
+	phases int
+}
+
+func newDistanceAware(ev *evaluator, phi, maxPsi int32) *distanceAware {
+	ev.psi = 0
+	ev.resumable = true
+	if ev.opts.SpillThreshold > 0 {
+		// The user asked for bounded resident memory; the parked frontier
+		// must honour it too, not just D_R.
+		df, err := dstruct.NewDeferredSpill(ev.opts.SpillThreshold, ev.opts.SpillDir, ev.opts.NoFinalFirst)
+		if err != nil && ev.failed == nil {
+			ev.failed = err
+		}
+		if err != nil {
+			df = dstruct.NewDeferred(ev.opts.NoFinalFirst) // placeholder; evaluation fails immediately
+		}
+		ev.deferred = df
+	} else {
+		ev.deferred = dstruct.NewDeferred(ev.opts.NoFinalFirst)
+	}
+	// The last reachable phase is the first φ-grid point ≥ MaxPsi (the
+	// reference stops stepping once ψ ≥ MaxPsi, so it still runs that one).
+	// Tuples beyond it can never be re-admitted and are not worth parking.
+	limit := (int64(maxPsi) + int64(phi) - 1) / int64(phi) * int64(phi)
+	if limit > int64(1)<<31-1 {
+		limit = int64(1)<<31 - 1
+	}
+	ev.deferLimit = int32(limit)
+	return &distanceAware{cur: ev, phi: phi, maxPsi: maxPsi, phases: 1}
+}
+
+// Next returns the next answer in non-decreasing distance. No cross-phase
+// emitted-set is needed: the evaluator's answer registry stays warm across
+// phases, so it never re-emits a pair the way a restarted evaluator would.
+func (d *distanceAware) Next() (Answer, bool, error) {
+	for !d.done {
+		a, ok, err := d.cur.Next()
+		if err != nil {
+			d.done = true
+			return Answer{}, false, err
+		}
+		if ok {
+			return a, true, nil
+		}
+		// Exhausted at this ψ. A spilling frontier that failed has silently
+		// dropped parked tuples; continuing would emit an incomplete tail.
+		if err := d.cur.deferred.Err(); err != nil {
+			d.done = true
+			d.cur.finish()
+			return Answer{}, false, err
+		}
+		// An empty frontier means nothing was ever rejected for cost, so no
+		// higher ψ can add answers.
+		next, more := d.nextPsi()
+		if !more {
+			d.done = true
+			d.cur.finish()
+			break
+		}
+		d.psi = next
+		d.cur.resume(next)
+		d.phases++
+	}
+	return Answer{}, false, nil
+}
+
+// nextPsi returns the next ψ-grid value that re-admits at least one deferred
+// tuple, or false when stepping must stop. The reference driver steps one φ
+// at a time and stops once ψ ≥ MaxPsi; a grid point ψ+kφ is therefore
+// reachable only while every earlier point stayed below the cap. Stepping
+// straight to the first populated point visits the same reachable set.
+func (d *distanceAware) nextPsi() (int32, bool) {
+	m, any := d.cur.deferred.MinDistance()
+	if !any || d.psi >= d.maxPsi {
+		return 0, false
+	}
+	phi, psi := int64(d.phi), int64(d.psi)
+	steps := (int64(m) - psi + phi - 1) / phi // ≥ 1: every deferred tuple exceeds ψ
+	maxSteps := (int64(d.maxPsi) - psi + phi - 1) / phi
+	if steps > maxSteps {
+		return 0, false // the nearest deferred tuple lies beyond the cap
+	}
+	return int32(psi + steps*phi), true
+}
+
+// Stats implements StatsReporter.
+func (d *distanceAware) Stats() Stats {
+	s := d.cur.Stats()
+	s.Phases = d.phases
+	return s
+}
+
+// restartDistanceAware is the paper's naive driver, retained behind
+// Options.DistanceRestart as the differential reference for the resumable
+// implementation above: every ψ increment builds a fresh evaluator and
+// re-runs evaluation from the beginning, and a cross-phase emitted-set
+// suppresses the answers already returned by earlier phases.
+type restartDistanceAware struct {
 	build   func(psi int32) *evaluator
 	phi     int32
 	maxPsi  int32
 	psi     int32
 	cur     *evaluator
-	emitted map[uint64]struct{}
+	emitted *dstruct.U64Set
 	done    bool
 	stats   Stats
 }
 
-func newDistanceAware(build func(psi int32) *evaluator, phi, maxPsi int32) *distanceAware {
-	return &distanceAware{build: build, phi: phi, maxPsi: maxPsi, emitted: map[uint64]struct{}{}}
+func newRestartDistanceAware(build func(psi int32) *evaluator, phi, maxPsi int32) *restartDistanceAware {
+	return &restartDistanceAware{build: build, phi: phi, maxPsi: maxPsi, emitted: dstruct.NewU64Set()}
 }
 
-// Next returns the next answer in non-decreasing distance. Phase ψ finds
-// every answer of distance ≤ ψ, so answers new to this phase have distance
-// in (ψ−φ, ψ]: emission stays globally monotone.
-func (d *distanceAware) Next() (Answer, bool, error) {
+// Next returns the next answer in non-decreasing distance.
+func (d *restartDistanceAware) Next() (Answer, bool, error) {
 	for !d.done {
 		if d.cur == nil {
 			d.cur = d.build(d.psi)
@@ -36,27 +152,26 @@ func (d *distanceAware) Next() (Answer, bool, error) {
 			return Answer{}, false, err
 		}
 		if ok {
-			k := packPair(a.Src, a.Dst)
-			if _, dup := d.emitted[k]; dup {
+			if !d.emitted.Add(packPair(a.Src, a.Dst)) {
 				continue // rediscovered at this or a higher ψ
 			}
-			d.emitted[k] = struct{}{}
 			return a, true, nil
 		}
 		d.accumulate(d.cur)
+		pruned := d.cur.pruned
+		d.cur = nil // accumulated; clearing prevents Stats double-counting
 		// Exhausted at this ψ. If nothing was pruned, no higher ψ can add
 		// answers; otherwise step ψ unless the cap is reached.
-		if !d.cur.pruned || d.psi >= d.maxPsi {
+		if !pruned || d.psi >= d.maxPsi {
 			d.done = true
 			break
 		}
 		d.psi += d.phi
-		d.cur = nil
 	}
 	return Answer{}, false, nil
 }
 
-func (d *distanceAware) accumulate(ev *evaluator) {
+func (d *restartDistanceAware) accumulate(ev *evaluator) {
 	s := ev.Stats()
 	d.stats.TuplesAdded += s.TuplesAdded
 	d.stats.TuplesPopped += s.TuplesPopped
@@ -68,7 +183,7 @@ func (d *distanceAware) accumulate(ev *evaluator) {
 }
 
 // Stats implements StatsReporter.
-func (d *distanceAware) Stats() Stats {
+func (d *restartDistanceAware) Stats() Stats {
 	s := d.stats
 	if d.cur != nil {
 		cs := d.cur.Stats()

@@ -42,6 +42,18 @@ type evaluator struct {
 	// when the frontier outgrows every previous one.
 	scratch []graph.NodeID
 
+	// deferred, when non-nil, parks tuples rejected for exceeding ψ instead
+	// of discarding them, so a later resume can re-inject them (incremental
+	// distance-aware mode). deferLimit is the largest ψ the driver can ever
+	// reach: tuples beyond it are unreachable in every later phase, so
+	// parking them would only burn memory (they are dropped, exactly as the
+	// restart reference re-drops them every phase). resumable suppresses the
+	// automatic resource release when D_R drains: the driver owns finish()
+	// and may raise ψ and continue instead.
+	deferred   *dstruct.Deferred
+	deferLimit int32
+	resumable  bool
+
 	psi        int32 // -1 = unlimited
 	pruned     bool
 	seeded     bool
@@ -52,12 +64,18 @@ type evaluator struct {
 }
 
 func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evaluator {
+	// Hint the visited set with the product graph the search walks
+	// (data-graph nodes × automaton states) and the answer registry with one
+	// binding per node: once a table grows past the trust threshold it
+	// rehashes straight to the hinted size — rehash copies, not probes,
+	// dominate the tables' cost on large APPROX frontiers, while selective
+	// queries never pay for the hint.
 	ev := &evaluator{
 		g:       g,
 		aut:     aut,
 		opts:    opts,
-		visited: dstruct.NewVisited(),
-		answers: dstruct.NewAnswers(),
+		visited: dstruct.NewVisitedSized(g.NumNodes() * int(aut.NumStates)),
+		answers: dstruct.NewAnswersSized(g.NumNodes()),
 		psi:     -1,
 	}
 	switch {
@@ -79,12 +97,46 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 	return ev
 }
 
-// finish releases dictionary resources (spill files). Evaluation calls it
-// when the answer stream ends or fails; abandoning an evaluator mid-stream
-// with spilling enabled leaves its temp files until process exit.
+// finish releases dictionary and deferred-frontier resources (spill files).
+// Evaluation calls it when the answer stream ends or fails; abandoning an
+// evaluator mid-stream with spilling enabled leaves its temp files until
+// process exit.
 func (ev *evaluator) finish() {
 	if ev.dr != nil {
 		_ = ev.dr.Close()
+	}
+	if ev.deferred != nil {
+		_ = ev.deferred.Close()
+	}
+}
+
+// reject handles a tuple whose distance exceeds the current ψ: the pruned
+// flag tells the driver a higher ψ could reveal more, and in resumable mode
+// the tuple is parked for re-injection instead of being recomputed from
+// scratch next phase — unless no reachable phase could ever admit it.
+func (ev *evaluator) reject(t dstruct.Tuple) {
+	ev.pruned = true
+	if ev.deferred != nil && t.D <= ev.deferLimit {
+		ev.deferred.Add(t)
+		ev.stats.Deferred++
+	}
+}
+
+// resume raises ψ and re-injects every deferred tuple the new bound admits —
+// exactly the D_R contents a restarted phase would have rebuilt, minus all
+// the recomputation (for the bucket-queue Dict the re-injection is a slice
+// adoption, not per-tuple work). The caller must only invoke it after Next
+// has reported exhaustion.
+func (ev *evaluator) resume(psi int32) {
+	ev.psi = psi
+	n := ev.dr.Inject(ev.deferred, psi)
+	ev.stats.TuplesAdded += n
+	ev.stats.Reinjected += n
+	if err := ev.deferred.Err(); err != nil && ev.failed == nil {
+		ev.failed = err
+	}
+	if ev.opts.MaxTuples > 0 && ev.dr.Adds() > ev.opts.MaxTuples && ev.failed == nil {
+		ev.failed = ErrTupleBudget
 	}
 }
 
@@ -113,11 +165,12 @@ func (ev *evaluator) seedInitial() {
 	// (cheapest) seed pops first when costs tie.
 	for i := len(ev.seeds) - 1; i >= 0; i-- {
 		s := ev.seeds[i]
+		t := dstruct.Tuple{V: s.node, N: s.node, S: ev.aut.Start, D: s.cost}
 		if ev.psi >= 0 && s.cost > ev.psi {
-			ev.pruned = true
+			ev.reject(t)
 			continue
 		}
-		ev.add(dstruct.Tuple{V: s.node, N: s.node, S: ev.aut.Start, D: s.cost})
+		ev.add(t)
 	}
 }
 
@@ -185,7 +238,11 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 				ev.finish()
 				return Answer{}, false, err
 			}
-			ev.finish()
+			// In resumable mode the driver may raise ψ and re-inject
+			// deferred tuples, so D_R must stay open; it owns finish().
+			if !ev.resumable {
+				ev.finish()
+			}
 			return Answer{}, false, nil
 		}
 		ev.stats.TuplesPopped++
@@ -203,10 +260,11 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 		if w, final := ev.aut.IsFinal(t.S); final {
 			if extra, match := ev.annCost(t.N); match && !ev.answers.Has(t.V, t.N) {
 				d := t.D + w + extra
+				ft := dstruct.Tuple{V: t.V, N: t.N, S: t.S, D: d, Final: true}
 				if ev.psi >= 0 && d > ev.psi {
-					ev.pruned = true
+					ev.reject(ft)
 				} else {
-					ev.add(dstruct.Tuple{V: t.V, N: t.N, S: t.S, D: d, Final: true})
+					ev.add(ft)
 				}
 			}
 		}
@@ -235,7 +293,7 @@ func (ev *evaluator) expand(t dstruct.Tuple) {
 			}
 			d := t.D + tr.Cost
 			if ev.psi >= 0 && d > ev.psi {
-				ev.pruned = true
+				ev.reject(dstruct.Tuple{V: t.V, N: m, S: tr.To, D: d})
 				continue
 			}
 			ev.add(dstruct.Tuple{V: t.V, N: m, S: tr.To, D: d})

@@ -76,7 +76,11 @@ func ExplainQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options
 			strategies = append(strategies, "alternation-by-disjunction")
 		}
 		if opts.DistanceAware && c.Mode != automaton.Exact {
-			strategies = append(strategies, fmt.Sprintf("distance-aware (φ=%d, max ψ=%d)", opts.phi(c.Mode), maxPsiFor(opts, c.Mode)))
+			variant := "incremental"
+			if opts.DistanceRestart {
+				variant = "restart-per-phase"
+			}
+			strategies = append(strategies, fmt.Sprintf("distance-aware (%s, φ=%d, max ψ=%d)", variant, opts.phi(c.Mode), maxPsiFor(opts, c.Mode)))
 		}
 		if opts.RareSide && plan.case3 && !plan.sameVar {
 			strategies = append(strategies, "rare-side")

@@ -96,8 +96,13 @@ func (d *projDedup) add(nodes []graph.NodeID) bool {
 		d.wide[k] = struct{}{}
 		return true
 	}
-	k := uint64(uint32(nodes[0]))
-	if len(nodes) == 2 {
+	var k uint64
+	switch len(nodes) {
+	case 0: // unreachable through Validate (empty heads are rejected)
+		k = 0
+	case 1:
+		k = uint64(uint32(nodes[0]))
+	default:
 		k = packPair(nodes[0], nodes[1])
 	}
 	return d.packed.Add(k)

@@ -25,12 +25,39 @@ type Tuple struct {
 	Final bool
 }
 
-// bucket holds the tuples of one distance, split by final flag. Both lists
-// are LIFO stacks, matching the paper's add/remove at the head of a linked
-// list.
+// bucket holds the tuples of one distance, split by final flag. In Dict both
+// lists are LIFO stacks, matching the paper's add/remove at the head of a
+// linked list; in Deferred the same layout holds FIFO generation order.
 type bucket struct {
 	final    []Tuple
 	nonFinal []Tuple
+}
+
+// push routes t into the sub-list Dict ordering expects: final tuples to the
+// final list unless the noFinalFirst ablation collapses the distinction.
+// Deferred uses the identical routing so its buckets can be adopted wholesale.
+func (b *bucket) push(t Tuple, noFinalFirst bool) {
+	if t.Final && !noFinalFirst {
+		b.final = append(b.final, t)
+	} else {
+		b.nonFinal = append(b.nonFinal, t)
+	}
+}
+
+// growBuckets extends a distance-indexed bucket array to cover distance d,
+// over-allocating to amortise repeated extension and capping at the flat
+// range bound.
+func growBuckets(buckets []bucket, d int) []bucket {
+	capWant := d + 1
+	if c := 2 * len(buckets); c > capWant {
+		capWant = c
+	}
+	if capWant > maxBucketDist {
+		capWant = maxBucketDist
+	}
+	next := make([]bucket, capWant)
+	copy(next, buckets)
+	return next
 }
 
 // maxBucketDist bounds the flat bucket array: distances in [0, maxBucketDist)
@@ -87,34 +114,14 @@ func (dd *Dict) Add(t Tuple) {
 		return
 	}
 	if d >= len(dd.buckets) {
-		dd.grow(d)
+		dd.buckets = growBuckets(dd.buckets, d)
 	}
-	b := &dd.buckets[d]
-	if t.Final && !dd.noFinalFirst {
-		b.final = append(b.final, t)
-	} else {
-		b.nonFinal = append(b.nonFinal, t)
-	}
+	dd.buckets[d].push(t, dd.noFinalFirst)
 	if d < dd.cursor {
 		dd.cursor = d
 	}
 	dd.size++
 	dd.adds++
-}
-
-// grow extends buckets to cover distance d, over-allocating to amortise
-// repeated extension as the search frontier deepens.
-func (dd *Dict) grow(d int) {
-	capWant := d + 1
-	if c := 2 * len(dd.buckets); c > capWant {
-		capWant = c
-	}
-	if capWant > maxBucketDist {
-		capWant = maxBucketDist
-	}
-	next := make([]bucket, capWant)
-	copy(next, dd.buckets)
-	dd.buckets = next
 }
 
 // negOverflowMin returns the minimal overflow distance when it is negative —
@@ -191,6 +198,28 @@ func (dd *Dict) MinDistance() (int32, bool) {
 	return 0, false
 }
 
+// minKey returns the packed (distance, final) key the next Remove would pop,
+// if any. SpillDict uses it to arbitrate between resident and spilled tuples.
+func (dd *Dict) minKey() (int64, bool) {
+	if _, neg := dd.negOverflowMin(); neg {
+		return dd.overflow.minKey()
+	}
+	for dd.cursor < len(dd.buckets) {
+		b := &dd.buckets[dd.cursor]
+		if len(b.final) > 0 {
+			return key(int32(dd.cursor), true), true
+		}
+		if len(b.nonFinal) > 0 {
+			return key(int32(dd.cursor), false), true
+		}
+		dd.cursor++
+	}
+	if dd.overflow != nil {
+		return dd.overflow.minKey()
+	}
+	return 0, false
+}
+
 // Err implements TupleDict for the in-memory Dict.
 func (dd *Dict) Err() error { return nil }
 
@@ -203,6 +232,7 @@ func (dd *Dict) Close() error { return nil }
 type Visited struct {
 	entries []visEntry
 	n       int
+	hint    int // expected population; 0 = none (double only)
 }
 
 type visEntry struct {
@@ -212,9 +242,53 @@ type visEntry struct {
 
 const visitedMinCap = 64 // power of two
 
+// tableMaxPresize caps hint-driven sizing of the open-addressed tables:
+// hints are estimates (node count × automaton states can wildly overshoot a
+// selective query), so the hint-jump is bounded and growth beyond it falls
+// back to normal rehash doubling.
+const tableMaxPresize = 1 << 20
+
+// tableJumpCap is the capacity at which a growing table trusts its size hint:
+// below it the table doubles normally (a selective query that touches a few
+// dozen entries must never pay for a graph-sized allocation), at or above it
+// the next rehash jumps straight to the hint-derived capacity, skipping the
+// large tail copies that otherwise dominate B/op on big APPROX frontiers.
+const tableJumpCap = 1 << 10
+
+// sizeForHint returns the power-of-two table size that keeps hint entries
+// under 3/4 load, clamped to [visitedMinCap, tableMaxPresize].
+func sizeForHint(hint int) int {
+	c := visitedMinCap
+	for c < tableMaxPresize && 3*c < 4*hint {
+		c <<= 1
+	}
+	return c
+}
+
+// grownCap returns the next capacity for a table of size cap with the given
+// population hint: double until the table proves real demand, then jump to
+// the hint.
+func grownCap(cap, hint int) int {
+	c := 2 * cap
+	if cap >= tableJumpCap {
+		if h := sizeForHint(hint); h > c {
+			c = h
+		}
+	}
+	return c
+}
+
 // NewVisited returns an empty visited set.
 func NewVisited() *Visited {
 	return &Visited{entries: make([]visEntry, visitedMinCap)}
+}
+
+// NewVisitedSized returns an empty visited set that, once grown past
+// tableJumpCap, rehashes straight to a capacity fit for about hint entries
+// (e.g. data-graph nodes × automaton states for one evaluation) instead of
+// doubling step by step. Small populations never pay for the hint.
+func NewVisitedSized(hint int) *Visited {
+	return &Visited{entries: make([]visEntry, visitedMinCap), hint: hint}
 }
 
 func pack(v, n graph.NodeID) uint64 {
@@ -234,7 +308,7 @@ func hashKey(vn uint64, s int32) uint64 {
 // executes the membership test and the insertion "as a single step" (§3.4).
 func (vs *Visited) Add(v, n graph.NodeID, s int32) bool {
 	if 4*(vs.n+1) > 3*len(vs.entries) {
-		vs.rehash(2 * len(vs.entries))
+		vs.rehash(grownCap(len(vs.entries), vs.hint))
 	}
 	vn := pack(v, n)
 	mask := uint64(len(vs.entries) - 1)
@@ -303,6 +377,7 @@ type Answer struct {
 type U64Set struct {
 	entries []uint64
 	n       int
+	hint    int // expected population; 0 = none (double only)
 }
 
 // u64Empty marks an empty slot; packed keys never set bit 63.
@@ -310,7 +385,13 @@ const u64Empty = uint64(1) << 63
 
 // NewU64Set returns an empty set.
 func NewU64Set() *U64Set {
-	s := &U64Set{entries: make([]uint64, visitedMinCap)}
+	return NewU64SetSized(0)
+}
+
+// NewU64SetSized returns an empty set that, once grown past tableJumpCap,
+// rehashes straight to a capacity fit for about hint keys.
+func NewU64SetSized(hint int) *U64Set {
+	s := &U64Set{entries: make([]uint64, visitedMinCap), hint: hint}
 	for i := range s.entries {
 		s.entries[i] = u64Empty
 	}
@@ -320,7 +401,7 @@ func NewU64Set() *U64Set {
 // Add inserts k, reporting whether it was newly added.
 func (s *U64Set) Add(k uint64) bool {
 	if 4*(s.n+1) > 3*len(s.entries) {
-		s.rehash(2 * len(s.entries))
+		s.rehash(grownCap(len(s.entries), s.hint))
 	}
 	mask := uint64(len(s.entries) - 1)
 	i := hashKey(k, 0) & mask
@@ -380,6 +461,12 @@ type Answers struct {
 // NewAnswers returns an empty registry.
 func NewAnswers() *Answers {
 	return &Answers{pairs: NewU64Set()}
+}
+
+// NewAnswersSized returns an empty registry pre-sized for about hint pairs
+// (e.g. the data graph's node count for a single-source conjunct).
+func NewAnswersSized(hint int) *Answers {
+	return &Answers{pairs: NewU64SetSized(hint)}
 }
 
 // Has reports whether (v, n) was already emitted at some distance.

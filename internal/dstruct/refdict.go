@@ -87,6 +87,20 @@ func (dd *RefDict) MinDistance() (int32, bool) {
 	return 0, false
 }
 
+// minKey returns the packed (distance, final) key the next Remove would pop.
+func (dd *RefDict) minKey() (int64, bool) {
+	for dd.keys.Len() > 0 {
+		k := dd.keys[0]
+		if len(dd.lists[k]) == 0 {
+			heap.Pop(&dd.keys)
+			delete(dd.lists, k)
+			continue
+		}
+		return k, true
+	}
+	return 0, false
+}
+
 // Err implements TupleDict.
 func (dd *RefDict) Err() error { return nil }
 

@@ -18,6 +18,13 @@ type TupleDict interface {
 	Len() int
 	Adds() int
 	MinDistance() (int32, bool)
+	// Inject re-admits every deferred tuple with distance ≤ psi and reports
+	// how many (the incremental distance-aware phase step). Dict adopts the
+	// parked buckets by slice move; the others re-add tuple by tuple. The
+	// contract for every implementation is that the dictionary has drained
+	// (the phase exhausted): injecting into a live dictionary would order
+	// parked vs resident tuples differently per implementation.
+	Inject(df *Deferred, psi int32) int
 	// Err returns the first I/O error encountered (always nil for Dict).
 	Err() error
 	// Close releases any on-disk resources (no-op for Dict).
@@ -57,15 +64,23 @@ func decodeTuple(buf []byte) Tuple {
 // future-work item of using "disk-based data structures to guarantee the
 // termination of APPROX queries with large intermediate results" (§6): the
 // search degrades to disk instead of exhausting memory.
+//
+// The resident portion is the flat bucket-queue Dict, not a map+heap: Add and
+// Remove on the hot (non-spilling) path cost the same as the purely in-memory
+// dictionary, and only the spill machinery touches the disk bookkeeping. The
+// on-disk format is unchanged: one append-only file per packed
+// (distance, final) key holding fixed-width encoded tuples. Tuples whose
+// distance falls outside Dict's flat bucket range (possible only under
+// extreme custom costs) stay resident in its sparse overflow and are exempt
+// from spilling.
 type SpillDict struct {
-	lists        map[int64][]Tuple
+	mem          *Dict
 	onDisk       map[int64]int // spilled tuple count per key
-	keys         keyHeap       // all keys with any resident or spilled tuples
+	diskKeys     keyHeap       // keys with spilled tuples
 	dir          string
 	ownDir       bool
 	threshold    int
-	resident     int
-	size         int
+	spilled      int // total spilled tuples currently on disk
 	adds         int
 	spills       int // buckets spilled (for tests and stats)
 	noFinalFirst bool
@@ -88,21 +103,18 @@ func NewSpillDict(threshold int, dir string, noFinalFirst bool) (*SpillDict, err
 		dir = d
 		own = true
 	}
+	mem := NewDict()
+	if noFinalFirst {
+		mem = NewDictNoFinalFirst()
+	}
 	return &SpillDict{
-		lists:        map[int64][]Tuple{},
+		mem:          mem,
 		onDisk:       map[int64]int{},
 		dir:          dir,
 		ownDir:       own,
 		threshold:    threshold,
 		noFinalFirst: noFinalFirst,
 	}, nil
-}
-
-func (sd *SpillDict) keyFor(t Tuple) int64 {
-	if sd.noFinalFirst {
-		return key(t.D, false)
-	}
-	return key(t.D, t.Final)
 }
 
 func (sd *SpillDict) path(k int64) string {
@@ -123,18 +135,9 @@ func (sd *SpillDict) Add(t Tuple) {
 	if sd.err != nil {
 		return
 	}
-	k := sd.keyFor(t)
-	if _, tracked := sd.lists[k]; !tracked {
-		if sd.onDisk[k] == 0 {
-			heap.Push(&sd.keys, k)
-		}
-		sd.lists[k] = nil
-	}
-	sd.lists[k] = append(sd.lists[k], t)
-	sd.resident++
-	sd.size++
+	sd.mem.Add(t)
 	sd.adds++
-	if sd.resident > sd.threshold {
+	if sd.mem.Len() > sd.threshold {
 		sd.spillColdest()
 	}
 }
@@ -143,29 +146,46 @@ func (sd *SpillDict) Add(t Tuple) {
 // resident count is within the threshold, never touching the minimum key
 // (pops must stay cheap).
 func (sd *SpillDict) spillColdest() {
-	min, ok := sd.minKey()
+	min, ok := sd.mem.minKey()
 	if !ok {
 		return
 	}
-	for sd.resident > sd.threshold/2 {
-		var largest int64 = -1
-		for k, list := range sd.lists {
-			if k != min && len(list) > 0 && k > largest {
-				largest = k
-			}
+	for sd.mem.Len() > sd.threshold/2 {
+		k, list := sd.takeMaxBucket(min)
+		if list == nil {
+			return // everything resident is the hot bucket (or overflow)
 		}
-		if largest < 0 {
-			return // everything resident is the hot bucket
-		}
-		if err := sd.spillBucket(largest); err != nil {
+		if err := sd.spillBucket(k, list); err != nil {
 			sd.fail(err)
 			return
 		}
 	}
 }
 
-func (sd *SpillDict) spillBucket(k int64) error {
-	list := sd.lists[k]
+// takeMaxBucket detaches and returns the resident sub-list with the largest
+// packed key, excluding the hot bucket minK. At one distance, the non-final
+// list (key bit 0 set) is colder than the final list.
+func (sd *SpillDict) takeMaxBucket(minK int64) (int64, []Tuple) {
+	dd := sd.mem
+	for d := len(dd.buckets) - 1; d >= 0; d-- {
+		b := &dd.buckets[d]
+		if k := key(int32(d), false); len(b.nonFinal) > 0 && k != minK {
+			list := b.nonFinal
+			b.nonFinal = nil
+			dd.size -= len(list)
+			return k, list
+		}
+		if k := key(int32(d), true); len(b.final) > 0 && k != minK {
+			list := b.final
+			b.final = nil
+			dd.size -= len(list)
+			return k, list
+		}
+	}
+	return 0, nil
+}
+
+func (sd *SpillDict) spillBucket(k int64, list []Tuple) error {
 	f, err := os.OpenFile(sd.path(k), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("dstruct: spill: %w", err)
@@ -181,14 +201,18 @@ func (sd *SpillDict) spillBucket(k int64) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("dstruct: spill: %w", err)
 	}
+	if sd.onDisk[k] == 0 {
+		heap.Push(&sd.diskKeys, k)
+	}
 	sd.onDisk[k] += len(list)
-	sd.resident -= len(list)
+	sd.spilled += len(list)
 	sd.spills++
-	delete(sd.lists, k)
 	return nil
 }
 
-// load re-reads a spilled bucket into memory and removes its file.
+// load re-reads the minimal spilled bucket into the resident dictionary and
+// removes its file. Only called when the corresponding resident sub-list is
+// empty, so file order (oldest first) reconstructs the LIFO stack exactly.
 func (sd *SpillDict) load(k int64) error {
 	path := sd.path(k)
 	data, err := os.ReadFile(path)
@@ -196,58 +220,52 @@ func (sd *SpillDict) load(k int64) error {
 		return fmt.Errorf("dstruct: load: %w", err)
 	}
 	n := len(data) / tupleBytes
-	list := sd.lists[k]
 	for i := 0; i < n; i++ {
-		list = append(list, decodeTuple(data[i*tupleBytes:]))
+		sd.mem.Add(decodeTuple(data[i*tupleBytes:]))
 	}
-	sd.lists[k] = list
-	sd.resident += n
-	sd.onDisk[k] = 0
+	sd.spilled -= sd.onDisk[k]
 	delete(sd.onDisk, k)
+	heap.Pop(&sd.diskKeys) // k is the minimum by construction
 	if err := os.Remove(path); err != nil {
 		return fmt.Errorf("dstruct: load: %w", err)
 	}
 	return nil
 }
 
-func (sd *SpillDict) minKey() (int64, bool) {
-	for sd.keys.Len() > 0 {
-		k := sd.keys[0]
-		if len(sd.lists[k]) == 0 && sd.onDisk[k] == 0 {
-			heap.Pop(&sd.keys)
-			delete(sd.lists, k)
-			continue
-		}
-		return k, true
+// diskMin returns the smallest key with spilled tuples, if any.
+func (sd *SpillDict) diskMin() (int64, bool) {
+	if sd.diskKeys.Len() == 0 {
+		return 0, false
 	}
-	return 0, false
+	return sd.diskKeys[0], true
 }
 
 // Remove pops the minimal tuple, reloading its bucket from disk if needed.
+// At equal keys resident tuples pop before spilled ones (they are newer, and
+// the stacks are LIFO).
 func (sd *SpillDict) Remove() (Tuple, bool) {
 	if sd.err != nil {
 		return Tuple{}, false
 	}
-	k, ok := sd.minKey()
-	if !ok {
-		return Tuple{}, false
-	}
-	if len(sd.lists[k]) == 0 && sd.onDisk[k] > 0 {
-		if err := sd.load(k); err != nil {
-			sd.fail(err)
+	for {
+		rk, rok := sd.mem.minKey()
+		dk, dok := sd.diskMin()
+		if !rok && !dok {
 			return Tuple{}, false
 		}
+		if dok && (!rok || dk < rk) {
+			if err := sd.load(dk); err != nil {
+				sd.fail(err)
+				return Tuple{}, false
+			}
+			continue
+		}
+		return sd.mem.Remove()
 	}
-	list := sd.lists[k]
-	t := list[len(list)-1]
-	sd.lists[k] = list[:len(list)-1]
-	sd.resident--
-	sd.size--
-	return t, true
 }
 
 // Len returns the number of stored tuples (resident + spilled).
-func (sd *SpillDict) Len() int { return sd.size }
+func (sd *SpillDict) Len() int { return sd.mem.Len() + sd.spilled }
 
 // Adds returns the lifetime number of insertions.
 func (sd *SpillDict) Adds() int { return sd.adds }
@@ -256,18 +274,25 @@ func (sd *SpillDict) Adds() int { return sd.adds }
 func (sd *SpillDict) Spills() int { return sd.spills }
 
 // Resident returns the number of tuples currently held in memory.
-func (sd *SpillDict) Resident() int { return sd.resident }
+func (sd *SpillDict) Resident() int { return sd.mem.Len() }
 
 // MinDistance returns the smallest distance present, if any.
 func (sd *SpillDict) MinDistance() (int32, bool) {
 	if sd.err != nil {
 		return 0, false
 	}
-	k, ok := sd.minKey()
-	if !ok {
+	rk, rok := sd.mem.minKey()
+	dk, dok := sd.diskMin()
+	switch {
+	case !rok && !dok:
 		return 0, false
+	case !rok:
+		return int32(dk >> 1), true
+	case dok && dk < rk:
+		return int32(dk >> 1), true
+	default:
+		return int32(rk >> 1), true
 	}
-	return int32(k >> 1), true
 }
 
 // Close removes all spill files (and the spill directory if this dictionary
@@ -282,6 +307,8 @@ func (sd *SpillDict) Close() error {
 		}
 	}
 	sd.onDisk = map[int64]int{}
+	sd.diskKeys = nil
+	sd.spilled = 0
 	if sd.ownDir {
 		if err := os.Remove(sd.dir); err != nil && first == nil {
 			first = err
