@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -76,27 +79,37 @@ func main() {
 		return
 	}
 
+	// Prepare once, execute with a signal-cancellable context: ctrl-C stops
+	// the query within one GetNext iteration and releases any spill state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	var rows *omega.Rows
+	pq, err := eng.PrepareText(*queryText)
+	if err != nil {
+		fatal(err)
+	}
+	eo := omega.ExecOptions{Limit: *limit}
 	if *mode != "" {
 		m, err := parseMode(*mode)
 		if err != nil {
 			fatal(err)
 		}
-		rows, err = eng.QueryTextMode(*queryText, m)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		rows, err = eng.QueryText(*queryText)
-		if err != nil {
-			fatal(err)
-		}
+		eo.Mode = omega.ModeOverride(m)
 	}
+	rows, err := pq.Exec(ctx, eo)
+	if err != nil {
+		fatal(err)
+	}
+	defer rows.Close()
 
 	count := 0
-	for *limit <= 0 || count < *limit {
+	for {
 		row, ok, err := rows.Next()
+		if errors.Is(err, omega.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "omega: canceled (after %d answers)\n", count)
+			break
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "omega: %v (after %d answers)\n", err, count)
 			os.Exit(1)

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -14,13 +18,25 @@ import (
 // repl implements the console layer of the paper's architecture (§3): users
 // submit queries, results stream back in order of increasing distance, and
 // "users [are] able to specify a limit on the number of results returned in
-// each phase" — the `more` command pulls the next batch.
+// each phase" — the `more` command pulls the next batch. Each query is
+// compiled once with PrepareText and executed with a cancellable context:
+// ctrl-C while a batch is streaming cancels the running query (releasing its
+// evaluation state) and returns to the prompt.
 func repl(in io.Reader, out io.Writer, eng *omega.Engine, batch int) {
-	fmt.Fprintln(out, "omega console — type a query, 'help', or 'quit'")
+	fmt.Fprintln(out, "omega console — type a query, 'help', or 'quit' (ctrl-C cancels a running query)")
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var current *omega.Rows
+	var cancel context.CancelFunc
 	served := 0
+	closeCurrent := func() {
+		if current != nil {
+			_ = current.Close()
+			cancel()
+			current, cancel = nil, nil
+		}
+	}
+	defer closeCurrent()
 	prompt := func() { fmt.Fprint(out, "omega> ") }
 	prompt()
 	for sc.Scan() {
@@ -46,7 +62,7 @@ func repl(in io.Reader, out io.Writer, eng *omega.Engine, batch int) {
 					n = v
 				}
 			}
-			served += printBatch(out, current, n)
+			served += printBatch(out, current, cancel, n)
 		case strings.HasPrefix(line, "explain "):
 			plan, err := eng.Explain(strings.TrimPrefix(line, "explain "))
 			if err != nil {
@@ -55,15 +71,23 @@ func repl(in io.Reader, out io.Writer, eng *omega.Engine, batch int) {
 			}
 			fmt.Fprint(out, plan)
 		default:
-			rows, err := eng.QueryText(line)
+			pq, err := eng.PrepareText(line)
 			if err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 				break
 			}
-			current = rows
+			closeCurrent()
+			ctx, c := context.WithCancel(context.Background())
+			rows, err := pq.Exec(ctx, omega.ExecOptions{})
+			if err != nil {
+				c()
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			current, cancel = rows, c
 			served = 0
 			start := time.Now()
-			served += printBatch(out, current, batch)
+			served += printBatch(out, current, cancel, batch)
 			fmt.Fprintf(out, "(%d answer(s) in %v; 'more' for the next batch)\n",
 				served, time.Since(start).Round(time.Microsecond))
 		}
@@ -72,10 +96,29 @@ func repl(in io.Reader, out io.Writer, eng *omega.Engine, batch int) {
 }
 
 // printBatch pulls up to n answers and prints them; returns how many came.
-func printBatch(out io.Writer, rows *omega.Rows, n int) int {
+// While the batch streams, an interrupt signal cancels the query's context;
+// the cancellation surfaces as ErrCanceled from Next.
+func printBatch(out io.Writer, rows *omega.Rows, cancel context.CancelFunc, n int) int {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-done:
+		}
+	}()
 	got, err := rows.Collect(n)
+	close(done)
+	signal.Stop(sig)
+
 	for _, r := range got {
 		fmt.Fprintf(out, "  %v\n", r)
+	}
+	if errors.Is(err, omega.ErrCanceled) {
+		fmt.Fprintln(out, "  (query canceled)")
+		return len(got)
 	}
 	if err != nil {
 		fmt.Fprintf(out, "error: %v\n", err)

@@ -1,13 +1,18 @@
 package omega
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"omega/internal/core"
 )
 
 // Engine bundles a graph, an optional ontology and evaluation options into a
-// convenient query interface.
+// convenient query interface. An Engine is immutable and safe for concurrent
+// use: any number of goroutines may Prepare and run queries on the same
+// Engine (WithOptions returns a new Engine rather than mutating).
 type Engine struct {
 	g    *Graph
 	ont  *Ontology
@@ -30,6 +35,59 @@ func (e *Engine) Graph() *Graph { return e.g }
 // Ontology returns the engine's ontology (may be nil).
 func (e *Engine) Ontology() *Ontology { return e.ont }
 
+// PreparedQuery is a query compiled once for repeated execution: parsing,
+// conjunct planning and automaton construction are done at Prepare time, and
+// each Exec instantiates only the per-run evaluator state. A PreparedQuery is
+// immutable and may be shared by any number of goroutines, each calling Exec
+// for its own *Rows.
+type PreparedQuery struct {
+	g *Graph
+	p *core.Prepared
+}
+
+// Prepare compiles a parsed query for repeated execution. The query is copied;
+// later mutation of q does not affect the prepared form.
+func (e *Engine) Prepare(q *Query) (*PreparedQuery, error) {
+	p, err := core.PrepareQuery(e.g, e.ont, q, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{g: e.g, p: p}, nil
+}
+
+// PrepareText parses and compiles a textual query for repeated execution.
+func (e *Engine) PrepareText(text string) (*PreparedQuery, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Prepare(q)
+}
+
+// Exec starts one execution of the prepared query. ctx cancels the run:
+// Next reports ErrCanceled (or ErrDeadline) within one GetNext iteration of
+// the cancellation. The returned Rows is for a single goroutine; concurrent
+// serving calls Exec once per request. Close the Rows when abandoning it
+// before exhaustion — that is what releases spill files deterministically.
+func (pq *PreparedQuery) Exec(ctx context.Context, opts ExecOptions) (*Rows, error) {
+	ex, err := pq.p.Exec(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{it: ex, closer: ex, g: pq.g}, nil
+}
+
+// Query returns the compiled query (after any conjunct reordering). The
+// caller must not modify it.
+func (pq *PreparedQuery) Query() *Query { return pq.p.Query() }
+
+// CompileStats reports how many automata this prepared query has built (over
+// all mode variants) and the total time spent compiling them. Repeated Exec
+// calls never move these counters — that is the amortisation contract.
+func (pq *PreparedQuery) CompileStats() (automata int, d time.Duration) {
+	return pq.p.CompileStats()
+}
+
 // Row is one query result with node labels resolved.
 type Row struct {
 	Vars   []string
@@ -50,17 +108,40 @@ func (r Row) String() string {
 	return fmt.Sprintf("[%s] dist=%d", s, r.Dist)
 }
 
-// Rows iterates query results.
+// Rows iterates query results in non-decreasing total distance. A Rows is
+// for one goroutine; it is not safe for concurrent use.
+//
+// Error contract: once Next returns a non-nil error the error is sticky —
+// every subsequent Next returns (Row{}, false, sameErr) — so a Collect or
+// ForEach caller can always distinguish exhaustion (nil error) from failure.
+// After Close, Next returns ErrClosed (or the earlier terminal error).
 type Rows struct {
-	it QueryIterator
-	g  *Graph
+	it     core.QueryIterator
+	closer interface{ Close() error }
+	g      *Graph
+	err    error
+	closed bool
 }
 
-// Next returns the next row in non-decreasing distance.
+// Next returns the next row in non-decreasing distance. ok=false with a nil
+// error means the result stream is exhausted (resources are released
+// automatically at that point); a non-nil error is sticky.
 func (r *Rows) Next() (Row, bool, error) {
+	if r.err != nil {
+		return Row{}, false, r.err
+	}
+	if r.closed {
+		r.err = ErrClosed
+		return Row{}, false, r.err
+	}
 	a, ok, err := r.it.Next()
-	if !ok || err != nil {
+	if err != nil {
+		r.err = err
+		_ = r.Close()
 		return Row{}, false, err
+	}
+	if !ok {
+		return Row{}, false, nil
 	}
 	row := Row{Vars: a.Head, Nodes: a.Nodes, Dist: int(a.Dist)}
 	row.Labels = make([]string, len(a.Nodes))
@@ -70,7 +151,9 @@ func (r *Rows) Next() (Row, bool, error) {
 	return row, true, nil
 }
 
-// Collect pulls up to limit rows (limit ≤ 0 means all).
+// Collect pulls up to limit rows (limit ≤ 0 means all). A non-nil error
+// accompanies the rows gathered before the failure; err == nil means the
+// stream ended (or limit was reached) normally.
 func (r *Rows) Collect(limit int) ([]Row, error) {
 	var out []Row
 	for limit <= 0 || len(out) < limit {
@@ -86,6 +169,54 @@ func (r *Rows) Collect(limit int) ([]Row, error) {
 	return out, nil
 }
 
+// ForEach streams rows into fn until exhaustion, an error, a false-returning
+// context, or a non-nil error from fn (which is returned verbatim). The Rows
+// is closed when ForEach returns, whatever the cause — it is the recommended
+// serving loop:
+//
+//	err := rows.ForEach(ctx, func(row omega.Row) error {
+//		return send(row)
+//	})
+func (r *Rows) ForEach(ctx context.Context, fn func(Row) error) error {
+	defer r.Close()
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// An earlier terminal error stays sticky; a fresh cancellation
+				// maps to the typed errors.
+				if r.err == nil {
+					r.err = core.ErrCanceled
+					if errors.Is(err, context.DeadlineExceeded) {
+						r.err = core.ErrDeadline
+					}
+				}
+				return r.err
+			}
+		}
+		row, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// Close releases the execution's resources (spill files, deferred frontiers)
+// deterministically. It is idempotent: closing twice, or closing after
+// exhaustion, is a no-op. After Close, Next reports ErrClosed.
+func (r *Rows) Close() error {
+	r.closed = true
+	if r.closer == nil {
+		return nil
+	}
+	return r.closer.Close()
+}
+
 // Stats reports evaluation counters if the underlying iterator tracks them.
 func (r *Rows) Stats() Stats {
 	if sr, ok := r.it.(core.StatsReporter); ok {
@@ -94,13 +225,15 @@ func (r *Rows) Stats() Stats {
 	return Stats{}
 }
 
-// Query evaluates a parsed query.
+// Query evaluates a parsed query: Prepare + Exec in one shot, with no
+// cancellation and no per-call limits. Servers that run a query repeatedly
+// should Prepare once and Exec per request instead.
 func (e *Engine) Query(q *Query) (*Rows, error) {
-	it, err := core.OpenQuery(e.g, e.ont, q, e.opts)
+	pq, err := e.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{it: it, g: e.g}, nil
+	return pq.Exec(context.Background(), ExecOptions{})
 }
 
 // QueryText parses and evaluates a textual query.
@@ -114,7 +247,8 @@ func (e *Engine) QueryText(text string) (*Rows, error) {
 
 // QueryTextMode parses a textual query, overrides every conjunct's mode, and
 // evaluates it. This is how the study runs the same query in exact, APPROX
-// and RELAX variants.
+// and RELAX variants; it is equivalent to PrepareText + Exec with
+// ExecOptions.Mode set.
 func (e *Engine) QueryTextMode(text string, mode Mode) (*Rows, error) {
 	q, err := ParseQuery(text)
 	if err != nil {

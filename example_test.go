@@ -1,6 +1,7 @@
 package omega_test
 
 import (
+	"context"
 	"fmt"
 
 	"omega"
@@ -55,6 +56,30 @@ func Example() {
 	//   [?X=alice] dist=1
 	// RELAX:
 	//   [?X=Oxford] dist=1
+}
+
+// ExampleEngine_Prepare shows the serving shape: compile a query once, then
+// execute it per request with a context and per-call ExecOptions. Close (via
+// ForEach here) releases the run's state deterministically.
+func ExampleEngine_Prepare() {
+	b := omega.NewGraphBuilder()
+	_ = b.AddTriple("Oxford", "isLocatedIn", "UK")
+	_ = b.AddTriple("alice", "gradFrom", "Oxford")
+	eng := omega.NewEngine(b.Freeze(), nil)
+
+	pq, _ := eng.PrepareText(`(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)`)
+	// Any number of goroutines may share pq; each Exec is one request.
+	rows, _ := pq.Exec(context.Background(), omega.ExecOptions{Limit: 2})
+	_ = rows.ForEach(context.Background(), func(r omega.Row) error {
+		fmt.Println(r)
+		return nil
+	})
+	automata, _ := pq.CompileStats()
+	fmt.Printf("%d automata, compiled once\n", automata)
+	// Output:
+	// [?X=Oxford] dist=1
+	// [?X=alice] dist=1
+	// 1 automata, compiled once
 }
 
 // ExampleEngine_Explain shows the evaluation plan for a flexible query.

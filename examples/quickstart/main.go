@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"omega"
 )
@@ -51,6 +53,33 @@ func main() {
 	// RELAX generalises gradFrom to its superproperty, so happenedIn and
 	// worksAt edges start to match at relaxation distance 1 (paper Example 3).
 	show(eng, "RELAX  "+q, "(?X) <- RELAX (UK, isLocatedIn-.gradFrom, ?X)")
+
+	// Serving shape: compile the query once, then execute it per request —
+	// one mode sweep here, but the same PreparedQuery could serve any number
+	// of goroutines concurrently. Exec takes a context for cancellation and
+	// per-call ExecOptions; Close releases the run's state deterministically.
+	fmt.Println("Prepared (one compile, three executions):")
+	pq, err := eng.PrepareText(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mode := range []omega.Mode{omega.Exact, omega.Approx, omega.Relax} {
+		rows, err := pq.Exec(context.Background(), omega.ExecOptions{
+			Limit: 10,
+			Mode:  omega.ModeOverride(mode),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := rows.Collect(0)
+		rows.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %d answer(s)\n", mode, len(got))
+	}
+	automata, d := pq.CompileStats()
+	fmt.Printf("  (%d automata compiled once, in %v)\n", automata, d.Round(time.Microsecond))
 }
 
 func show(eng *omega.Engine, title, q string) {

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -38,6 +40,38 @@ func main() {
 		option{"distance-aware", omega.Options{DistanceAware: true}},
 		option{"disjunction", omega.Options{Disjunction: true}},
 	)
+
+	// Per-execution knobs: the same prepared query served with different
+	// budgets. Limit stops after n answers, MaxDist stops before the first
+	// answer over the distance cap, MaxTuples bounds memory for one request.
+	fmt.Println("Q2 APPROX, one PreparedQuery, per-request ExecOptions:")
+	pq, err := omega.NewEngine(g, ont).WithOptions(omega.Options{DistanceAware: true}).PrepareText(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, eo := range []struct {
+		name string
+		opts omega.ExecOptions
+	}{
+		{"limit 10", omega.ExecOptions{Limit: 10}},
+		{"max dist 1", omega.ExecOptions{MaxDist: 1}},
+		{"tuple budget 2000", omega.ExecOptions{MaxTuples: 2000}},
+	} {
+		rows, err := pq.Exec(context.Background(), eo.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := rows.Collect(0)
+		rows.Close()
+		switch {
+		case errors.Is(err, omega.ErrTupleBudget):
+			fmt.Printf("  %-18s %3d answers, then tuple budget exhausted\n", eo.name, len(got))
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("  %-18s %3d answers\n", eo.name, len(got))
+		}
+	}
 }
 
 type option struct {

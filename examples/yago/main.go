@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -38,18 +40,32 @@ func main() {
 	fmt.Println("Example 3 (RELAX):")
 	printSome(eng, "(?X) <- RELAX (UK, isLocatedIn-.gradFrom, ?X)", 5)
 
-	// Figure 9 queries: run the study set and report counts.
-	fmt.Println("Figure 9 query set (top-20 per query):")
+	// Figure 9 queries: run the study set and report counts. Each query runs
+	// under a deadline, the serving idiom for a latency budget: a query that
+	// overruns is cut off with ErrDeadline and its state released by Close.
+	fmt.Println("Figure 9 query set (top-20 per query, 2s deadline each):")
 	for _, q := range omega.YAGOQueries() {
-		rows, err := eng.QueryText(q.Text)
+		pq, err := eng.PrepareText(q.Text)
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, err := rows.Collect(20)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		rows, err := pq.Exec(ctx, omega.ExecOptions{Limit: 20})
 		if err != nil {
+			cancel()
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-3s %3d answer(s)   %s\n", q.ID, len(got), q.Text)
+		got, err := rows.Collect(0)
+		rows.Close()
+		cancel()
+		switch {
+		case errors.Is(err, omega.ErrDeadline):
+			fmt.Printf("  %-3s %3d answer(s), deadline exceeded   %s\n", q.ID, len(got), q.Text)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("  %-3s %3d answer(s)   %s\n", q.ID, len(got), q.Text)
+		}
 	}
 }
 

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/l4all"
+	"omega/internal/query"
+)
+
+func benchQ(b *testing.B, id string) (*core.Query, *core.Options) {
+	var text string
+	for _, q := range l4all.StudyQueries() {
+		if q.ID == id {
+			text = q.Text
+		}
+	}
+	q, err := query.Parse(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i].Mode = automaton.Approx
+	}
+	return q, &core.Options{}
+}
+
+func BenchmarkOneShotQ3(b *testing.B) {
+	g, ont := l4all.Generate(l4all.L1)
+	q, opts := benchQ(b, "Q3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := core.OpenQuery(g, ont, q, *opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for n < 100 {
+			_, ok, err := it.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+}
+
+func BenchmarkPreparedExecQ3(b *testing.B) {
+	g, ont := l4all.Generate(l4all.L1)
+	q, opts := benchQ(b, "Q3")
+	p, err := core.PrepareQuery(g, ont, q, *opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := p.Exec(context.Background(), core.ExecOptions{Limit: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for n < 100 {
+			_, ok, err := ex.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		ex.Close()
+	}
+}

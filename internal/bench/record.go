@@ -14,8 +14,10 @@ type Record struct {
 	Dataset      string  `json:"dataset"`
 	Query        string  `json:"query"`
 	Mode         string  `json:"mode"`
-	Ms           float64 `json:"ms"`      // average total time (0 when failed)
-	InitMs       float64 `json:"init_ms"` // average initialisation time
+	Ms           float64 `json:"ms"`                   // average total time (0 when failed)
+	InitMs       float64 `json:"init_ms"`              // average initialisation time
+	CompileMs    float64 `json:"compile_ms,omitempty"` // one-time prepare/compile cost (prep experiment)
+	Compiles     int     `json:"compiles,omitempty"`   // automata built during the measured runs (prep experiment)
 	Answers      int     `json:"answers"`
 	TuplesAdded  int     `json:"tuples_added"`
 	TuplesPopped int     `json:"tuples_popped"`

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"omega/internal/automaton"
@@ -13,22 +14,27 @@ func packPair(v, n graph.NodeID) uint64 {
 	return uint64(uint32(v))<<32 | uint64(uint32(n))
 }
 
-// conjunctPlan is the reusable part of conjunct initialisation: compiled
-// automata (one per alternand when decomposing, else a single automaton for
-// the whole expression), Case 1 seeds, and the final-state annotation.
-// Evaluators are cheap to spin up from a plan, which is what the disjunction
-// strategy and the restart-based distance-aware reference need (both build
-// fresh evaluators per phase; the default distance-aware mode resumes one).
+// conjunctPlan is the reusable, immutable part of conjunct initialisation:
+// compiled automata (one per alternand when decomposing, else a single
+// automaton for the whole expression), Case 1 seeds, and the final-state
+// annotation. A plan is read-only after planConjunct returns, so any number
+// of concurrent executions may instantiate evaluators from it — that is what
+// makes a PreparedQuery goroutine-shareable. Evaluators are cheap to spin up
+// from a plan, which is also what the disjunction strategy and the
+// restart-based distance-aware reference need.
 type conjunctPlan struct {
 	g    *graph.Graph
 	ont  *ontology.Ontology
-	opts Options
+	opts Options // plan-time options (costs, planner flags); run-time knobs come from each exec
 	mode automaton.Mode
 
 	auts     []*automaton.Compiled
 	seeds    []seed                 // Case 1 (nil for Case 3)
 	finalAnn map[graph.NodeID]int32 // nil = wildcard
 	case3    bool
+
+	decompose bool // evaluate per alternand (§4.3 disjunction strategy)
+	built     int  // automata constructed while planning (compile counter)
 
 	swapped bool // Case 2: (?X,R,C) evaluated as (C,R−,?X)
 	sameVar bool // (?X,R,?X): keep only answers with Src == Dst
@@ -39,7 +45,10 @@ func planConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Optio
 	if c.Expr == nil {
 		return nil, fmt.Errorf("core: conjunct %s has no expression", c)
 	}
-	p := &conjunctPlan{g: g, ont: ont, opts: opts, mode: c.Mode}
+	if (c.Mode == automaton.Relax || c.Mode == automaton.Flex) && ont == nil {
+		return nil, fmt.Errorf("core: %v requires an ontology", c.Mode)
+	}
+	p := &conjunctPlan{g: g, ont: ont, opts: opts, mode: c.Mode, decompose: decompose}
 
 	subj, obj := c.Subject, c.Object
 	reverse := false
@@ -81,6 +90,7 @@ func planConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Optio
 			return nil, err
 		}
 		p.auts = append(p.auts, aut)
+		p.built++
 	}
 
 	// Rare-side heuristic (EXTENSION): for a (?X, R, ?Y) conjunct, compare
@@ -97,6 +107,7 @@ func planConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Optio
 				return nil, err
 			}
 			revAuts = append(revAuts, aut)
+			p.built++
 			fwd += p.seedEstimate(p.auts[i])
 			rev += p.seedEstimate(aut)
 		}
@@ -141,10 +152,13 @@ func planConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Optio
 }
 
 // newEvaluator instantiates a fresh evaluator over automaton autIdx with
-// distance cap psi (-1 = unlimited).
-func (p *conjunctPlan) newEvaluator(autIdx int, psi int32) *evaluator {
+// distance cap psi (-1 = unlimited). Run-time knobs (spilling, budgets,
+// batching, dictionary choice) come from opts, which must outlive the
+// evaluator; ctx (possibly nil) governs cancellation.
+func (p *conjunctPlan) newEvaluator(ctx context.Context, opts *Options, autIdx int, psi int32) *evaluator {
 	aut := p.auts[autIdx]
-	ev := newEvaluator(p.g, aut, &p.opts)
+	ev := newEvaluator(p.g, aut, opts)
+	ev.ctx = ctx
 	ev.psi = psi
 	ev.finalAnn = p.finalAnn
 	if p.case3 {
@@ -153,6 +167,49 @@ func (p *conjunctPlan) newEvaluator(autIdx int, psi int32) *evaluator {
 		ev.seeds = p.seeds
 	}
 	return ev
+}
+
+// open instantiates the per-run evaluator state for this plan: the paper's
+// Open minus everything already compiled into the plan. ctx (possibly nil)
+// cancels the run; opts carries the run's options and must outlive the
+// iterator; maxDist > 0 additionally caps the distance-aware ψ stepping (a
+// per-exec MaxDist can never need answers beyond itself).
+func (p *conjunctPlan) open(ctx context.Context, opts *Options, maxDist int32) Iterator {
+	ctx = watchable(ctx)
+	if !p.case3 && len(p.seeds) == 0 {
+		// The constant subject (after any Case 2 swap) names no node.
+		return emptyIterator{}
+	}
+
+	phi := opts.phi(p.mode)
+	maxPsi := opts.MaxPsi
+	if maxPsi <= 0 {
+		maxPsi = 16 * phi
+	}
+	if maxDist > 0 && maxDist < maxPsi {
+		maxPsi = maxDist
+	}
+
+	var it Iterator
+	switch {
+	case p.decompose:
+		it = newDisjunction(ctx, p, opts, phi, maxPsi)
+	case opts.DistanceAware && p.mode != automaton.Exact:
+		if opts.DistanceRestart {
+			it = newRestartDistanceAware(func(psi int32) *evaluator { return p.newEvaluator(ctx, opts, 0, psi) }, phi, maxPsi)
+		} else {
+			it = newDistanceAware(p.newEvaluator(ctx, opts, 0, 0), phi, maxPsi)
+		}
+	default:
+		it = p.newEvaluator(ctx, opts, 0, -1)
+	}
+	if p.sameVar {
+		it = sameVarIterator{it}
+	}
+	if p.swapped {
+		it = swapIterator{it}
+	}
+	return it
 }
 
 // seedEstimate sizes the Case 3 seed population of a compiled automaton:
@@ -240,6 +297,8 @@ func (s swapIterator) Next() (Answer, bool, error) {
 
 func (s swapIterator) Stats() Stats { return statsOf(s.it) }
 
+func (s swapIterator) Close() error { return closeIter(s.it) }
+
 // sameVarIterator keeps only reflexive answers, for conjuncts of the form
 // (?X, R, ?X).
 type sameVarIterator struct{ it Iterator }
@@ -255,6 +314,8 @@ func (s sameVarIterator) Next() (Answer, bool, error) {
 
 func (s sameVarIterator) Stats() Stats { return statsOf(s.it) }
 
+func (s sameVarIterator) Close() error { return closeIter(s.it) }
+
 func statsOf(it Iterator) Stats {
 	if sr, ok := it.(StatsReporter); ok {
 		return sr.Stats()
@@ -262,49 +323,35 @@ func statsOf(it Iterator) Stats {
 	return Stats{}
 }
 
+// closeIter releases an iterator's resources when it supports Close (the
+// stateless wrappers and emptyIterator do not own any).
+func closeIter(it Iterator) error {
+	if c, ok := it.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// compileConjunct builds the compile-time plan for one conjunct: expression
+// (optionally rewritten and/or decomposed per alternand), automata, seeds and
+// final annotation. The result is immutable and shareable.
+func compileConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Options) (*conjunctPlan, error) {
+	if c.Expr == nil {
+		return nil, fmt.Errorf("core: conjunct %s has no expression", c)
+	}
+	decompose := opts.Disjunction && len(c.Expr.Alternands()) > 1
+	return planConjunct(g, ont, c, opts, decompose)
+}
+
 // OpenConjunct initialises evaluation of a single conjunct (the paper's Open
 // procedure) and returns an iterator over its answers in non-decreasing
-// distance from the original conjunct.
+// distance from the original conjunct. It is compileConjunct + open in one
+// shot; prepared queries split the two so Exec skips compilation.
 func OpenConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Options) (Iterator, error) {
 	opts = opts.withDefaults()
-	if (c.Mode == automaton.Relax || c.Mode == automaton.Flex) && ont == nil {
-		return nil, fmt.Errorf("core: %v requires an ontology", c.Mode)
-	}
-
-	decompose := opts.Disjunction && len(c.Expr.Alternands()) > 1
-	plan, err := planConjunct(g, ont, c, opts, decompose)
+	plan, err := compileConjunct(g, ont, c, opts)
 	if err != nil {
 		return nil, err
 	}
-	if !plan.case3 && len(plan.seeds) == 0 {
-		// The constant subject (after any Case 2 swap) names no node.
-		return emptyIterator{}, nil
-	}
-
-	phi := opts.phi(c.Mode)
-	maxPsi := opts.MaxPsi
-	if maxPsi <= 0 {
-		maxPsi = 16 * phi
-	}
-
-	var it Iterator
-	switch {
-	case decompose:
-		it = newDisjunction(plan, phi, maxPsi)
-	case opts.DistanceAware && c.Mode != automaton.Exact:
-		if opts.DistanceRestart {
-			it = newRestartDistanceAware(func(psi int32) *evaluator { return plan.newEvaluator(0, psi) }, phi, maxPsi)
-		} else {
-			it = newDistanceAware(plan.newEvaluator(0, 0), phi, maxPsi)
-		}
-	default:
-		it = plan.newEvaluator(0, -1)
-	}
-	if plan.sameVar {
-		it = sameVarIterator{it}
-	}
-	if plan.swapped {
-		it = swapIterator{it}
-	}
-	return it, nil
+	return plan.open(nil, &opts, 0), nil
 }

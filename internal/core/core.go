@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,6 +19,40 @@ import (
 // models the out-of-memory failures the paper reports for YAGO queries 4 and
 // 5 under APPROX (Figure 10's '?') as a clean, recoverable error.
 var ErrTupleBudget = errors.New("core: tuple budget exceeded")
+
+// ErrCanceled is returned when the context governing an execution is
+// canceled. It wraps context.Canceled, so errors.Is(err, context.Canceled)
+// also holds.
+var ErrCanceled = fmt.Errorf("core: evaluation canceled: %w", context.Canceled)
+
+// ErrDeadline is returned when the context governing an execution passes its
+// deadline. It wraps context.DeadlineExceeded.
+var ErrDeadline = fmt.Errorf("core: evaluation deadline exceeded: %w", context.DeadlineExceeded)
+
+// ErrClosed is returned by Next on an execution whose Close has been called.
+var ErrClosed = errors.New("core: execution closed")
+
+// ctxErr maps a non-nil context error onto the package's typed errors.
+func ctxErr(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	default:
+		return err
+	}
+}
+
+// watchable returns ctx when it can actually be canceled, nil otherwise, so
+// the evaluator hot loop can skip the check for context.Background() and
+// plain OpenQuery callers at zero cost.
+func watchable(ctx context.Context) context.Context {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx
+}
 
 // Term is one endpoint of a conjunct: a variable or a constant node label.
 type Term struct {
@@ -113,12 +148,13 @@ type Options struct {
 	// the work of its predecessors (the paper's description restarts
 	// evaluation from scratch at each increment; see DistanceRestart).
 	DistanceAware bool
-	// DistanceRestart backs the distance-aware mode with the paper's naive
-	// per-phase restart driver (a fresh evaluator at every ψ increment)
-	// instead of the resumable incremental evaluator. Both emit identical
-	// ranked sequences; this exists for differential testing and
-	// benchmarking, not production use — the RefDict pattern applied to
-	// ψ-stepping.
+	// DistanceRestart backs the ψ-stepping drivers with the paper's naive
+	// restart behaviour instead of the resumable evaluators: distance-aware
+	// mode builds a fresh evaluator at every ψ increment, and the disjunction
+	// strategy builds a fresh evaluator per (branch, phase). Either way the
+	// ranked emission is identical to the resumable drivers; this exists for
+	// differential testing and benchmarking, not production use — the
+	// RefDict pattern applied to ψ-stepping.
 	DistanceRestart bool
 	// MaxPsi caps the ψ stepping (distance-aware mode only); 0 means 16·φ.
 	// Answers beyond MaxPsi are not returned in distance-aware mode.

@@ -1,25 +1,261 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"omega/internal/dstruct"
 )
 
-// disjunction implements §4.3's "replacing alternation by disjunction": the
-// NFA for R = R1|R2|… is decomposed into sub-automata NFA_i. Distance-0
-// answers are computed by evaluating the sub-automata in default order,
-// recording the answer count n_{0,i} per sub-automaton; the answers at
-// distance kφ are then computed by evaluating the sub-automata in increasing
-// n_{(k−1)φ,i} order, so cheap branches run first and a caller that stops
-// after the top k answers never pays for the expensive branches.
+// This file implements §4.3's "replacing alternation by disjunction": the NFA
+// for R = R1|R2|… is decomposed into sub-automata NFA_i. Distance-0 answers
+// are computed by evaluating the sub-automata in default order, recording the
+// answer count n_{0,i} per sub-automaton; the answers at distance kφ are then
+// computed by evaluating the sub-automata in increasing n_{(k−1)φ,i} order,
+// so cheap branches run first and a caller that stops after the top k answers
+// never pays for the expensive branches.
 //
 // Answers stream out as each sub-automaton produces them. Within a distance
 // phase every new answer has distance in (ψ−φ, ψ]; with uniform operation
 // costs (the study's configuration) that band is the single value ψ, so the
 // stream stays globally non-decreasing.
+//
+// The default driver (disjunction) keeps ONE resumable evaluator per branch:
+// over-ψ tuples park in the branch's deferred frontier and each phase step
+// re-injects them into the same warm evaluator, exactly like the incremental
+// distance-aware mode — no (branch, phase) pair ever recomputes the work of
+// its predecessors, and phases that would re-admit nothing anywhere are
+// skipped by stepping ψ straight to the next populated φ-grid point. The old
+// fresh-evaluator-per-(branch, phase) driver is retained behind
+// Options.DistanceRestart as the differential reference (the RefDict
+// pattern): both emit byte-identical ranked sequences.
+
+// newDisjunction returns the driver selected by opts: the resumable
+// per-branch driver by default, the restart-per-phase reference under
+// Options.DistanceRestart.
+func newDisjunction(ctx context.Context, plan *conjunctPlan, opts *Options, phi, maxPsi int32) Iterator {
+	if opts.DistanceRestart {
+		return newRestartDisjunction(ctx, plan, opts, phi, maxPsi)
+	}
+	n := len(plan.auts)
+	d := &disjunction{
+		ctx:        ctx,
+		plan:       plan,
+		opts:       opts,
+		phi:        phi,
+		maxPsi:     maxPsi,
+		evals:      make([]*evaluator, n),
+		prevCounts: make([]int, n),
+		emitted:    dstruct.NewU64Set(),
+		phases:     1,
+	}
+	d.startPhase()
+	return d
+}
+
+// disjunction is the resumable driver: one live evaluator per branch, shared
+// across every ψ phase.
 type disjunction struct {
+	ctx    context.Context
 	plan   *conjunctPlan
+	opts   *Options
+	phi    int32
+	maxPsi int32
+
+	psi        int32
+	evals      []*evaluator // per branch; created on the branch's first turn
+	prevCounts []int        // new answers per branch in the previous phase
+	counts     []int        // new answers per branch in the current phase
+	order      []int
+	oi         int
+	emitted    *dstruct.U64Set // cross-branch dedup (each branch dedups itself)
+	phases     int
+	done       bool
+	failed     error
+}
+
+// startPhase orders the branches by the previous phase's answer counts
+// (stable, so the first phase and ties use default order).
+func (d *disjunction) startPhase() {
+	n := len(d.plan.auts)
+	d.order = make([]int, n)
+	for i := range d.order {
+		d.order[i] = i
+	}
+	sort.SliceStable(d.order, func(i, j int) bool {
+		return d.prevCounts[d.order[i]] < d.prevCounts[d.order[j]]
+	})
+	d.counts = make([]int, n)
+	d.oi = 0
+}
+
+// branch returns the branch's live evaluator, instantiating it on the
+// branch's first turn (phase 0 touches every branch, so creation always
+// happens at ψ = 0).
+func (d *disjunction) branch(idx int) *evaluator {
+	if d.evals[idx] == nil {
+		ev := d.plan.newEvaluator(d.ctx, d.opts, idx, d.psi)
+		makeResumable(ev, d.phi, d.maxPsi)
+		d.evals[idx] = ev
+	}
+	return d.evals[idx]
+}
+
+// fail records the terminal error and releases every branch.
+func (d *disjunction) fail(err error) error {
+	if d.failed == nil {
+		d.failed = err
+	}
+	d.done = true
+	d.closeAll()
+	return d.failed
+}
+
+func (d *disjunction) closeAll() {
+	for _, ev := range d.evals {
+		if ev != nil {
+			ev.finish()
+		}
+	}
+}
+
+// Next streams the next answer.
+func (d *disjunction) Next() (Answer, bool, error) {
+	for {
+		if d.failed != nil {
+			return Answer{}, false, d.failed
+		}
+		if d.done {
+			return Answer{}, false, nil
+		}
+		if d.oi >= len(d.order) {
+			// Phase complete: step ψ to the next φ-grid point that re-admits
+			// at least one parked tuple in some branch, or stop.
+			next, skipped, more := d.nextPsi()
+			if !more {
+				d.done = true
+				d.closeAll()
+				continue
+			}
+			copy(d.prevCounts, d.counts)
+			if skipped {
+				// The grid point just before `next` was provably empty for
+				// every branch; the restart reference would have run it,
+				// found nothing, and ordered the following phase by its
+				// all-zero counts. Reproduce that ordering.
+				for i := range d.prevCounts {
+					d.prevCounts[i] = 0
+				}
+			}
+			d.psi = next
+			for _, ev := range d.evals {
+				if ev != nil {
+					ev.resume(next)
+				}
+			}
+			d.phases++
+			d.startPhase()
+			continue
+		}
+		idx := d.order[d.oi]
+		ev := d.branch(idx)
+		a, ok, err := ev.Next()
+		if err != nil {
+			return Answer{}, false, d.fail(err)
+		}
+		if !ok {
+			// A spilling frontier that failed has silently dropped parked
+			// tuples; continuing would emit an incomplete tail.
+			if err := ev.deferred.Err(); err != nil {
+				return Answer{}, false, d.fail(err)
+			}
+			d.oi++
+			continue
+		}
+		if !d.emitted.Add(packPair(a.Src, a.Dst)) {
+			continue // found by an earlier branch
+		}
+		d.counts[idx]++
+		return a, true, nil
+	}
+}
+
+// nextPsi returns the next ψ-grid value that re-admits at least one deferred
+// tuple in some branch, whether any intermediate grid point was skipped, and
+// whether stepping may continue. The restart reference steps one φ at a time
+// and stops once ψ ≥ MaxPsi; a grid point ψ+kφ is therefore reachable only
+// while every earlier point stayed below the cap.
+func (d *disjunction) nextPsi() (int32, bool, bool) {
+	if d.psi >= d.maxPsi {
+		return 0, false, false
+	}
+	var m int32
+	any := false
+	for _, ev := range d.evals {
+		if ev == nil {
+			continue
+		}
+		if md, ok := ev.deferred.MinDistance(); ok && (!any || md < m) {
+			m, any = md, true
+		}
+	}
+	if !any {
+		return 0, false, false
+	}
+	phi, psi := int64(d.phi), int64(d.psi)
+	steps := (int64(m) - psi + phi - 1) / phi // ≥ 1: every deferred tuple exceeds ψ
+	maxSteps := (int64(d.maxPsi) - psi + phi - 1) / phi
+	if steps > maxSteps {
+		return 0, false, false // the nearest deferred tuple lies beyond the cap
+	}
+	return int32(psi + steps*phi), steps > 1, true
+}
+
+// Close releases every branch evaluator's resources deterministically.
+func (d *disjunction) Close() error {
+	d.done = true
+	var first error
+	for _, ev := range d.evals {
+		if ev != nil {
+			if err := ev.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Stats implements StatsReporter.
+func (d *disjunction) Stats() Stats {
+	s := Stats{Phases: d.phases}
+	for _, ev := range d.evals {
+		if ev == nil {
+			continue
+		}
+		es := ev.Stats()
+		s.TuplesAdded += es.TuplesAdded
+		s.TuplesPopped += es.TuplesPopped
+		s.NeighborCalls += es.NeighborCalls
+		s.CacheHits += es.CacheHits
+		s.Deferred += es.Deferred
+		s.Reinjected += es.Reinjected
+		if es.VisitedSize > s.VisitedSize {
+			s.VisitedSize = es.VisitedSize
+		}
+	}
+	return s
+}
+
+// restartDisjunction is the pre-resumable driver, retained behind
+// Options.DistanceRestart as the differential reference: every (branch,
+// phase) pair builds a fresh evaluator and re-runs evaluation from the
+// beginning, with the cross-phase emitted-set suppressing answers already
+// returned by earlier phases or branches.
+type restartDisjunction struct {
+	ctx  context.Context
+	plan *conjunctPlan
+	opts *Options
+
 	phi    int32
 	maxPsi int32
 
@@ -35,9 +271,11 @@ type disjunction struct {
 	stats      Stats
 }
 
-func newDisjunction(plan *conjunctPlan, phi, maxPsi int32) *disjunction {
-	d := &disjunction{
+func newRestartDisjunction(ctx context.Context, plan *conjunctPlan, opts *Options, phi, maxPsi int32) *restartDisjunction {
+	d := &restartDisjunction{
+		ctx:        ctx,
 		plan:       plan,
+		opts:       opts,
 		phi:        phi,
 		maxPsi:     maxPsi,
 		prevCounts: make([]int, len(plan.auts)),
@@ -49,7 +287,7 @@ func newDisjunction(plan *conjunctPlan, phi, maxPsi int32) *disjunction {
 
 // startPhase orders the sub-automata by the previous phase's answer counts
 // (stable, so the first phase and ties use default order).
-func (d *disjunction) startPhase() {
+func (d *restartDisjunction) startPhase() {
 	n := len(d.plan.auts)
 	d.order = make([]int, n)
 	for i := range d.order {
@@ -66,7 +304,7 @@ func (d *disjunction) startPhase() {
 }
 
 // Next streams the next answer.
-func (d *disjunction) Next() (Answer, bool, error) {
+func (d *restartDisjunction) Next() (Answer, bool, error) {
 	for {
 		if d.done {
 			return Answer{}, false, nil
@@ -84,7 +322,7 @@ func (d *disjunction) Next() (Answer, bool, error) {
 				d.startPhase()
 				continue
 			}
-			d.cur = d.plan.newEvaluator(d.order[d.oi], d.psi)
+			d.cur = d.plan.newEvaluator(d.ctx, d.opts, d.order[d.oi], d.psi)
 		}
 		a, ok, err := d.cur.Next()
 		if err != nil {
@@ -108,7 +346,7 @@ func (d *disjunction) Next() (Answer, bool, error) {
 	}
 }
 
-func (d *disjunction) accumulate(ev *evaluator) {
+func (d *restartDisjunction) accumulate(ev *evaluator) {
 	s := ev.Stats()
 	d.stats.TuplesAdded += s.TuplesAdded
 	d.stats.TuplesPopped += s.TuplesPopped
@@ -119,8 +357,17 @@ func (d *disjunction) accumulate(ev *evaluator) {
 	}
 }
 
+// Close releases the current evaluator, if one is live.
+func (d *restartDisjunction) Close() error {
+	d.done = true
+	if d.cur != nil {
+		return d.cur.Close()
+	}
+	return nil
+}
+
 // Stats implements StatsReporter.
-func (d *disjunction) Stats() Stats {
+func (d *restartDisjunction) Stats() Stats {
 	s := d.stats
 	if d.cur != nil {
 		cs := d.cur.Stats()

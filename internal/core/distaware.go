@@ -32,6 +32,14 @@ type distanceAware struct {
 
 func newDistanceAware(ev *evaluator, phi, maxPsi int32) *distanceAware {
 	ev.psi = 0
+	makeResumable(ev, phi, maxPsi)
+	return &distanceAware{cur: ev, phi: phi, maxPsi: maxPsi, phases: 1}
+}
+
+// makeResumable arms ev with a deferred frontier so the ψ-stepping drivers
+// (distanceAware, and disjunction's per-branch evaluators) can resume it
+// across phases instead of restarting evaluation.
+func makeResumable(ev *evaluator, phi, maxPsi int32) {
 	ev.resumable = true
 	if ev.opts.SpillThreshold > 0 {
 		// The user asked for bounded resident memory; the parked frontier
@@ -55,7 +63,6 @@ func newDistanceAware(ev *evaluator, phi, maxPsi int32) *distanceAware {
 		limit = int64(1)<<31 - 1
 	}
 	ev.deferLimit = int32(limit)
-	return &distanceAware{cur: ev, phi: phi, maxPsi: maxPsi, phases: 1}
 }
 
 // Next returns the next answer in non-decreasing distance. No cross-phase
@@ -119,6 +126,13 @@ func (d *distanceAware) Stats() Stats {
 	return s
 }
 
+// Close releases the live evaluator's resources (D_R and the deferred
+// frontier, including any spill files) deterministically.
+func (d *distanceAware) Close() error {
+	d.done = true
+	return d.cur.Close()
+}
+
 // restartDistanceAware is the paper's naive driver, retained behind
 // Options.DistanceRestart as the differential reference for the resumable
 // implementation above: every ψ increment builds a fresh evaluator and
@@ -180,6 +194,15 @@ func (d *restartDistanceAware) accumulate(ev *evaluator) {
 	if s.VisitedSize > d.stats.VisitedSize {
 		d.stats.VisitedSize = s.VisitedSize
 	}
+}
+
+// Close releases the current phase's evaluator, if one is live.
+func (d *restartDistanceAware) Close() error {
+	d.done = true
+	if d.cur != nil {
+		return d.cur.Close()
+	}
+	return nil
 }
 
 // Stats implements StatsReporter.

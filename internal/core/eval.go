@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"omega/internal/automaton"
 	"omega/internal/dstruct"
 	"omega/internal/graph"
@@ -54,10 +56,16 @@ type evaluator struct {
 	deferLimit int32
 	resumable  bool
 
+	// ctx, when non-nil, is checked at the top of every Next call and
+	// periodically inside the pop loop; cancellation surfaces as ErrCanceled
+	// or ErrDeadline. nil (the common OpenQuery path) costs nothing.
+	ctx context.Context
+
 	psi        int32 // -1 = unlimited
 	pruned     bool
 	seeded     bool
 	streamDone bool
+	released   bool // finish() has run; dict/deferred resources are gone
 	failed     error
 
 	stats Stats
@@ -98,16 +106,45 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 }
 
 // finish releases dictionary and deferred-frontier resources (spill files).
-// Evaluation calls it when the answer stream ends or fails; abandoning an
-// evaluator mid-stream with spilling enabled leaves its temp files until
-// process exit.
+// Evaluation calls it when the answer stream ends or fails, and Close calls
+// it when an iterator is abandoned mid-stream; it is idempotent.
 func (ev *evaluator) finish() {
+	if ev.released {
+		return
+	}
+	ev.released = true
 	if ev.dr != nil {
 		_ = ev.dr.Close()
 	}
 	if ev.deferred != nil {
 		_ = ev.deferred.Close()
 	}
+}
+
+// Close releases the evaluator's resources deterministically. Safe to call
+// more than once and safe to interleave with Next: a closed evaluator keeps
+// reporting ErrClosed (or its earlier terminal error) from Next.
+func (ev *evaluator) Close() error {
+	if ev.failed == nil && !ev.released {
+		ev.failed = ErrClosed
+	}
+	ev.finish()
+	return nil
+}
+
+// checkCtx reports the typed context error once the evaluator's context is
+// done, recording it as the terminal failure.
+func (ev *evaluator) checkCtx() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	if err := ev.ctx.Err(); err != nil {
+		if ev.failed == nil {
+			ev.failed = ctxErr(err)
+		}
+		return ev.failed
+	}
+	return nil
 }
 
 // reject handles a tuple whose distance exceeds the current ψ: the pruned
@@ -214,6 +251,10 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 		ev.finish()
 		return Answer{}, false, ev.failed
 	}
+	if err := ev.checkCtx(); err != nil {
+		ev.finish()
+		return Answer{}, false, err
+	}
 	if !ev.seeded {
 		ev.seedInitial()
 	}
@@ -221,6 +262,14 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 		if ev.failed != nil {
 			ev.finish()
 			return Answer{}, false, ev.failed
+		}
+		// Re-check cancellation periodically inside the pop loop so a long
+		// stretch with no emitted answer still honours the context promptly.
+		if ev.ctx != nil && ev.stats.TuplesPopped&0x0FFF == 0 {
+			if err := ev.checkCtx(); err != nil {
+				ev.finish()
+				return Answer{}, false, err
+			}
 		}
 		// Lines 15–17: when no distance-0 tuples remain and more initial
 		// nodes are available, pull the next batch. Required for ranked

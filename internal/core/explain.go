@@ -73,7 +73,11 @@ func ExplainQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options
 		}
 		var strategies []string
 		if decompose {
-			strategies = append(strategies, "alternation-by-disjunction")
+			variant := "resumable per branch"
+			if opts.DistanceRestart {
+				variant = "restart per branch and phase"
+			}
+			strategies = append(strategies, fmt.Sprintf("alternation-by-disjunction (%s)", variant))
 		}
 		if opts.DistanceAware && c.Mode != automaton.Exact {
 			variant := "incremental"

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -34,31 +35,18 @@ type QueryIterator interface {
 	Next() (QueryAnswer, bool, error)
 }
 
-// OpenQuery initialises evaluation of a CRP query: each conjunct is opened
-// with OpenConjunct and multi-conjunct queries are combined with a ranked
-// join that emits answers in non-decreasing total distance (§3).
+// OpenQuery initialises evaluation of a CRP query and returns an iterator
+// over its answers in non-decreasing total distance (§3). It is a thin
+// wrapper over PrepareQuery + Exec — compile and run in one shot, with no
+// cancellation and no per-call limits; servers that run a query repeatedly
+// should Prepare once and Exec per request instead. The returned iterator is
+// always a *Execution, so callers may type-assert for Close.
 func OpenQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options) (QueryIterator, error) {
-	if err := q.Validate(); err != nil {
+	p, err := PrepareQuery(g, ont, q, opts)
+	if err != nil {
 		return nil, err
 	}
-	if opts.ReorderConjuncts && len(q.Conjuncts) > 1 {
-		q = applyPlan(q, planQueryTree(q))
-	}
-	its := make([]Iterator, len(q.Conjuncts))
-	for i, c := range q.Conjuncts {
-		it, err := OpenConjunct(g, ont, c, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: conjunct %d: %w", i+1, err)
-		}
-		its[i] = it
-	}
-	if len(q.Conjuncts) == 1 {
-		return &singleConjunct{q: q, it: its[0], dedup: newProjDedup(len(q.Head))}, nil
-	}
-	if opts.HashRankJoin {
-		return newHRJNQuery(q, its)
-	}
-	return newRankedJoin(q, its), nil
+	return p.Exec(context.Background(), ExecOptions{})
 }
 
 func projKey(nodes []graph.NodeID) string {

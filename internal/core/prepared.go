@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"omega/internal/automaton"
+	"omega/internal/graph"
+	"omega/internal/ontology"
+)
+
+// This file implements prepared queries and context-aware execution: the
+// preprocess-once / enumerate-on-demand split that the enumeration literature
+// frames for RPQs. PrepareQuery runs everything in query initialisation that
+// does not depend on per-run state — validation, conjunct reordering, path
+// rewriting, automaton construction and ε-removal, Case 1 seed and
+// final-annotation resolution — into an immutable Prepared that any number of
+// goroutines may Exec concurrently. Exec instantiates only the per-run
+// evaluator state (D_R, visited set, answer registry, deferred frontier) and
+// returns an Execution whose Close releases disk-backed state (spill files)
+// deterministically instead of at process exit.
+
+// ExecOptions are the per-execution knobs of a prepared query. They deliberately
+// carry only what varies call-to-call in a serving workload; everything that
+// shapes the compiled plan (costs, optimisation strategies, batch size,
+// dictionary selection) stays in Options, fixed at Prepare time.
+type ExecOptions struct {
+	// Limit caps the number of answers returned; the execution reports
+	// exhaustion and releases its resources once the cap is reached.
+	// 0 means unlimited.
+	Limit int
+	// MaxDist caps the total distance of returned answers: the execution
+	// stops before the first answer whose distance exceeds it (emission is
+	// non-decreasing, so nothing below the cap is lost). In distance-aware
+	// mode it also caps the ψ stepping, pruning work that could only produce
+	// over-budget answers. 0 means unlimited.
+	MaxDist int32
+	// MaxTuples overrides Options.MaxTuples for this execution when positive
+	// (0 inherits the prepared value). Evaluation beyond the budget returns
+	// ErrTupleBudget.
+	MaxTuples int
+	// Mode, when non-nil, overrides every conjunct's mode for this execution
+	// (the study's exact/APPROX/RELAX sweeps over one query text). The first
+	// execution with a given override compiles that variant's automata; the
+	// variant is cached in the Prepared, so repeats pay nothing.
+	Mode *automaton.Mode
+}
+
+// planSet is one fully compiled variant of a prepared query: the (possibly
+// mode-overridden) query plus one immutable conjunctPlan per conjunct.
+type planSet struct {
+	q     *Query
+	plans []*conjunctPlan
+}
+
+// Prepared is a compiled query, ready for repeated execution. It is immutable
+// after PrepareQuery returns — safe for concurrent Exec from any number of
+// goroutines — except for the internal mode-variant cache, which is guarded
+// by a mutex.
+type Prepared struct {
+	g    *graph.Graph
+	ont  *ontology.Ontology
+	opts Options // defaults applied
+
+	def *planSet // the query's own modes
+
+	mu          sync.Mutex
+	variants    map[automaton.Mode]*planSet // lazily compiled Mode overrides
+	compiles    int                         // automata built across all variants
+	compileTime time.Duration
+}
+
+// cloneQuery deep-copies the query's head and conjunct slices so the Prepared
+// is immune to later caller mutation (the Expr trees are treated as immutable
+// by the whole pipeline and are shared).
+func cloneQuery(q *Query) *Query {
+	out := &Query{
+		Head:      append([]string(nil), q.Head...),
+		Conjuncts: append([]Conjunct(nil), q.Conjuncts...),
+	}
+	return out
+}
+
+// PrepareQuery compiles q once for repeated execution: validation, optional
+// conjunct reordering, and per-conjunct automaton construction (the paper's
+// Open, minus the per-run D_R seeding). The result is goroutine-shareable.
+func PrepareQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options) (*Prepared, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	q = cloneQuery(q)
+	if opts.ReorderConjuncts && len(q.Conjuncts) > 1 {
+		q = applyPlan(q, planQueryTree(q))
+	}
+	p := &Prepared{g: g, ont: ont, opts: opts}
+	def, err := p.compileSet(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.def = def
+	return p, nil
+}
+
+// compileSet compiles one variant of the query, with every conjunct's mode
+// replaced by *mode when non-nil.
+func (p *Prepared) compileSet(q *Query, mode *automaton.Mode) (*planSet, error) {
+	start := time.Now()
+	ps := &planSet{q: q}
+	if mode != nil {
+		q2 := cloneQuery(q)
+		for i := range q2.Conjuncts {
+			q2.Conjuncts[i].Mode = *mode
+		}
+		ps.q = q2
+	}
+	built := 0
+	for i, c := range ps.q.Conjuncts {
+		plan, err := compileConjunct(p.g, p.ont, c, p.opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: conjunct %d: %w", i+1, err)
+		}
+		ps.plans = append(ps.plans, plan)
+		built += plan.built
+	}
+	p.mu.Lock()
+	p.compiles += built
+	p.compileTime += time.Since(start)
+	p.mu.Unlock()
+	return ps, nil
+}
+
+// planSetFor returns the compiled variant for the given mode override (nil =
+// the query as written), compiling and caching it on first use.
+func (p *Prepared) planSetFor(mode *automaton.Mode) (*planSet, error) {
+	if mode == nil {
+		return p.def, nil
+	}
+	// An override that matches the query as written needs no new variant.
+	same := true
+	for _, c := range p.def.q.Conjuncts {
+		if c.Mode != *mode {
+			same = false
+			break
+		}
+	}
+	if same {
+		return p.def, nil
+	}
+	p.mu.Lock()
+	if ps, ok := p.variants[*mode]; ok {
+		p.mu.Unlock()
+		return ps, nil
+	}
+	p.mu.Unlock()
+	// Compile outside the lock (compilation can be slow); a racing Exec with
+	// the same override may compile twice, and the first store wins.
+	ps, err := p.compileSet(p.def.q, mode)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.variants == nil {
+		p.variants = map[automaton.Mode]*planSet{}
+	}
+	if won, ok := p.variants[*mode]; ok {
+		return won, nil
+	}
+	p.variants[*mode] = ps
+	return ps, nil
+}
+
+// Query returns the prepared query (post-reordering). The caller must not
+// modify it.
+func (p *Prepared) Query() *Query { return p.def.q }
+
+// CompileStats reports how many automata this Prepared has built across all
+// of its variants and the total time spent compiling them. Repeated Exec
+// calls never move these counters.
+func (p *Prepared) CompileStats() (automata int, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compiles, p.compileTime
+}
+
+// Exec instantiates a new execution of the prepared query. The returned
+// Execution is single-goroutine (run concurrent executions by calling Exec
+// once per goroutine); ctx cancellation surfaces as ErrCanceled/ErrDeadline
+// from Next within one GetNext iteration. The caller should Close the
+// execution when abandoning it before exhaustion — that is what releases
+// spill files deterministically.
+func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error) {
+	ps, err := p.planSetFor(eo.Mode)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Execution{
+		opts:    p.opts,
+		ctx:     watchable(ctx),
+		limit:   eo.Limit,
+		maxDist: eo.MaxDist,
+	}
+	if eo.MaxTuples > 0 {
+		ex.opts.MaxTuples = eo.MaxTuples
+	}
+	ex.its = make([]Iterator, len(ps.plans))
+	for i, plan := range ps.plans {
+		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist)
+	}
+	q := ps.q
+	switch {
+	case len(q.Conjuncts) == 1:
+		ex.join = &singleConjunct{q: q, it: ex.its[0], dedup: newProjDedup(len(q.Head))}
+	case p.opts.HashRankJoin:
+		hq, err := newHRJNQuery(q, ex.its)
+		if err != nil {
+			ex.release()
+			return nil, err
+		}
+		ex.join = hq
+	default:
+		ex.join = newRankedJoin(q, ex.its)
+	}
+	return ex, nil
+}
+
+// Execution is one run of a prepared query: a QueryIterator with
+// deterministic resource release (Close) and per-run Limit/MaxDist
+// accounting. After an error, Next keeps returning the same error (sticky);
+// after Close, Next returns ErrClosed.
+type Execution struct {
+	opts Options // this run's options; evaluators hold a pointer into this field
+
+	its  []Iterator // conjunct-level iterators (the resource owners)
+	join QueryIterator
+	ctx  context.Context
+
+	limit   int
+	maxDist int32
+
+	n        int
+	err      error
+	done     bool
+	closed   bool
+	closeErr error
+	released bool
+}
+
+// Next returns the next answer in non-decreasing total distance, honouring
+// the execution's context, Limit and MaxDist. When it reports ok=false or an
+// error, the execution's resources have already been released.
+func (e *Execution) Next() (QueryAnswer, bool, error) {
+	if e.closed {
+		if e.err != nil {
+			return QueryAnswer{}, false, e.err
+		}
+		return QueryAnswer{}, false, ErrClosed
+	}
+	if e.err != nil {
+		return QueryAnswer{}, false, e.err
+	}
+	if e.done {
+		return QueryAnswer{}, false, nil
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			e.err = ctxErr(err)
+			e.release()
+			return QueryAnswer{}, false, e.err
+		}
+	}
+	if e.limit > 0 && e.n >= e.limit {
+		e.done = true
+		e.release()
+		return QueryAnswer{}, false, nil
+	}
+	a, ok, err := e.join.Next()
+	if err != nil {
+		e.err = err
+		e.release()
+		return QueryAnswer{}, false, err
+	}
+	if !ok || (e.maxDist > 0 && a.Dist > e.maxDist) {
+		e.done = true
+		e.release()
+		return QueryAnswer{}, false, nil
+	}
+	e.n++
+	return a, true, nil
+}
+
+// release closes every conjunct iterator, keeping the first error.
+func (e *Execution) release() {
+	if e.released {
+		return
+	}
+	e.released = true
+	for _, it := range e.its {
+		if err := closeIter(it); err != nil && e.closeErr == nil {
+			e.closeErr = err
+		}
+	}
+}
+
+// Close releases the execution's resources (spill files, deferred frontiers)
+// deterministically. It is idempotent, safe after exhaustion, and safe to
+// call on an execution another error already terminated; subsequent Next
+// calls return ErrClosed (or the earlier terminal error).
+func (e *Execution) Close() error {
+	e.closed = true
+	e.release()
+	return e.closeErr
+}
+
+// Stats implements StatsReporter, delegating to the underlying iterator tree
+// (single-conjunct executions report full counters; the ranked joins do not
+// track per-conjunct stats, matching OpenQuery's historical behaviour).
+func (e *Execution) Stats() Stats {
+	if sr, ok := e.join.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}

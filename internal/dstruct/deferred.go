@@ -47,6 +47,7 @@ type Deferred struct {
 	onDisk    map[int64]int // packed (distance, final) key → spilled count
 	diskKeys  keyHeap
 	spills    int
+	closed    bool
 	err       error
 }
 
@@ -97,7 +98,7 @@ func (df *Deferred) path(k int64) string {
 // Add parks t. Tuples are only ever deferred because t.D exceeds the current
 // ψ ≥ 0, but out-of-range distances are tolerated for safety.
 func (df *Deferred) Add(t Tuple) {
-	if df.err != nil {
+	if df.err != nil || df.closed {
 		return
 	}
 	d := int(t.D)
@@ -322,8 +323,10 @@ func (df *Deferred) drainOverflow(psi int32, emit func(Tuple)) {
 }
 
 // Close removes any spill files (and the spill directory if this frontier
-// created it). A frontier without spilling has nothing to release.
+// created it). A frontier without spilling has nothing to release. Close is
+// idempotent; after it, Add is a no-op.
 func (df *Deferred) Close() error {
+	df.closed = true
 	var first error
 	for k, n := range df.onDisk {
 		if n > 0 {

@@ -84,6 +84,7 @@ type SpillDict struct {
 	adds         int
 	spills       int // buckets spilled (for tests and stats)
 	noFinalFirst bool
+	closed       bool
 	err          error
 }
 
@@ -131,8 +132,10 @@ func (sd *SpillDict) fail(err error) {
 func (sd *SpillDict) Err() error { return sd.err }
 
 // Add inserts t, spilling cold buckets if the resident bound is exceeded.
+// Adding to a closed dictionary is a no-op (it must not resurrect files under
+// a directory Close already removed).
 func (sd *SpillDict) Add(t Tuple) {
-	if sd.err != nil {
+	if sd.err != nil || sd.closed {
 		return
 	}
 	sd.mem.Add(t)
@@ -244,7 +247,7 @@ func (sd *SpillDict) diskMin() (int64, bool) {
 // At equal keys resident tuples pop before spilled ones (they are newer, and
 // the stacks are LIFO).
 func (sd *SpillDict) Remove() (Tuple, bool) {
-	if sd.err != nil {
+	if sd.err != nil || sd.closed {
 		return Tuple{}, false
 	}
 	for {
@@ -296,8 +299,9 @@ func (sd *SpillDict) MinDistance() (int32, bool) {
 }
 
 // Close removes all spill files (and the spill directory if this dictionary
-// created it).
+// created it). Close is idempotent; after it, Add and Remove are no-ops.
 func (sd *SpillDict) Close() error {
+	sd.closed = true
 	var first error
 	for k, n := range sd.onDisk {
 		if n > 0 {

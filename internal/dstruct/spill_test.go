@@ -164,6 +164,62 @@ func TestSpillDictCloseRemovesFiles(t *testing.T) {
 	}
 }
 
+// TestSpillDictClosedIsInert: Close is idempotent, and a closed dictionary
+// ignores further Add/Remove instead of resurrecting files under a directory
+// Close already cleaned (the iterator-lifecycle contract of the serving API).
+func TestSpillDictClosedIsInert(t *testing.T) {
+	dir := t.TempDir()
+	sd, err := NewSpillDict(2, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sd.Add(tup(i, i, 0, i%7, false))
+	}
+	if err := sd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		sd.Add(tup(i, i, 0, i%7, false))
+	}
+	if _, ok := sd.Remove(); ok {
+		t.Fatal("Remove on a closed dictionary returned a tuple")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	if len(files) != 0 {
+		t.Fatalf("Add after Close recreated spill files: %v", files)
+	}
+}
+
+// TestDeferredClosedIsInert mirrors the closed contract for the deferred
+// frontier.
+func TestDeferredClosedIsInert(t *testing.T) {
+	dir := t.TempDir()
+	df, err := NewDeferredSpill(2, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		df.Add(tup(i, i, 0, i%7, false))
+	}
+	if err := df.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		df.Add(tup(i, i, 0, i%7, false))
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	if len(files) != 0 {
+		t.Fatalf("Add after Close recreated spill files: %v", files)
+	}
+}
+
 func TestSpillDictOwnDirCleanup(t *testing.T) {
 	sd, err := NewSpillDict(2, "", false)
 	if err != nil {

@@ -31,6 +31,19 @@
 //		fmt.Println(row.Labels, row.Dist)
 //	}
 //
+// # Serving
+//
+// For concurrent serving, compile once with Engine.Prepare (or PrepareText)
+// and execute per request with PreparedQuery.Exec, which takes a
+// context.Context for cancellation and per-call ExecOptions (Limit, MaxDist,
+// MaxTuples, Mode override). Exec returns a *Rows that must be Closed when
+// abandoned before exhaustion, so disk-backed evaluation state is released
+// deterministically:
+//
+//	pq, _ := eng.PrepareText(`(?X) <- APPROX (alice, knows+, ?X)`)
+//	rows, _ := pq.Exec(ctx, omega.ExecOptions{Limit: 100})
+//	defer rows.Close()
+//
 // See the examples directory for end-to-end programs, DESIGN.md for the
 // architecture, and EXPERIMENTS.md for the reproduction of the paper's
 // performance study.
@@ -68,8 +81,14 @@ type (
 	Conjunct = core.Conjunct
 	// Term is a conjunct endpoint: variable or constant.
 	Term = core.Term
-	// Options configures evaluation (costs, batching, optimisations).
+	// Options configures evaluation (costs, batching, optimisations). These
+	// are engine-level knobs, fixed when a query is prepared; the per-call
+	// knobs live in ExecOptions.
 	Options = core.Options
+	// ExecOptions are the per-execution knobs of a prepared query: Limit,
+	// MaxDist, MaxTuples override, and Mode override. See the core type for
+	// the knob-by-knob contract.
+	ExecOptions = core.ExecOptions
 	// Mode selects EXACT, APPROX, RELAX or FLEX evaluation of a conjunct.
 	Mode = automaton.Mode
 	// EditCosts configures APPROX (insertion/deletion/substitution).
@@ -118,8 +137,25 @@ const (
 // InvalidNode is returned by lookups that find no node.
 const InvalidNode = graph.InvalidNode
 
-// ErrTupleBudget is returned when evaluation exceeds Options.MaxTuples.
+// ErrTupleBudget is returned when evaluation exceeds the tuple budget
+// (Options.MaxTuples, or ExecOptions.MaxTuples for one execution).
 var ErrTupleBudget = core.ErrTupleBudget
+
+// ErrCanceled is returned by Rows.Next when the execution's context is
+// canceled. It wraps context.Canceled, so errors.Is(err, context.Canceled)
+// also holds.
+var ErrCanceled = core.ErrCanceled
+
+// ErrDeadline is returned by Rows.Next when the execution's context passes
+// its deadline. It wraps context.DeadlineExceeded.
+var ErrDeadline = core.ErrDeadline
+
+// ErrClosed is returned by Rows.Next after Rows.Close.
+var ErrClosed = core.ErrClosed
+
+// ModeOverride is a convenience for ExecOptions.Mode: it returns a pointer to
+// mode, overriding every conjunct's mode for one execution.
+func ModeOverride(mode Mode) *Mode { m := mode; return &m }
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
