@@ -10,23 +10,50 @@ import (
 	"sync"
 	"testing"
 
-	"omega/internal/bench"
 	"omega/internal/core"
 	"omega/internal/l4all"
 	"omega/internal/yago"
 )
 
-var (
-	benchDatasets     *bench.Datasets
-	benchDatasetsOnce sync.Once
-)
-
-func datasets() *bench.Datasets {
-	benchDatasetsOnce.Do(func() {
-		benchDatasets = bench.NewDatasets(yago.DefaultConfig())
-	})
-	return benchDatasets
+// testDatasets lazily generates and caches the study workloads for this test
+// package. (internal/bench has an equivalent cache, but it now sits above the
+// public omega package — the serving experiment drives Engine/Scheduler — so
+// the in-package tests keep their own copy to avoid an import cycle.)
+type testDatasets struct {
+	mu sync.Mutex
+	l4 map[l4all.Scale]l4Pair
+	yg *l4Pair
 }
+
+type l4Pair struct {
+	g   *Graph
+	ont *Ontology
+}
+
+func (d *testDatasets) L4All(s l4all.Scale) (*Graph, *Ontology) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.l4[s]; ok {
+		return e.g, e.ont
+	}
+	g, ont := l4all.Generate(s)
+	d.l4[s] = l4Pair{g, ont}
+	return g, ont
+}
+
+func (d *testDatasets) YAGO() (*Graph, *Ontology) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.yg == nil {
+		g, ont := yago.Generate(yago.DefaultConfig())
+		d.yg = &l4Pair{g, ont}
+	}
+	return d.yg.g, d.yg.ont
+}
+
+var testData = &testDatasets{l4: map[l4all.Scale]l4Pair{}}
+
+func datasets() *testDatasets { return testData }
 
 func benchScales() []l4all.Scale { return []l4all.Scale{l4all.L1, l4all.L2} }
 

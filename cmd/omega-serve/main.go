@@ -1,0 +1,187 @@
+// Command omega-serve runs Omega's streaming query server: an HTTP front-end
+// over the compile-once/execute-many API with an LRU plan cache, a bounded
+// fair scheduler with admission control, and a pooled evaluator state so
+// steady-state requests allocate near zero.
+//
+// Usage:
+//
+//	omega-serve -data l4all:L2 -addr :8080
+//	omega-serve -graph g.txt -ontology o.txt -workers 8 -queue 32 -timeout 5s
+//
+// Query with curl (NDJSON: one answer row per line, then a summary object):
+//
+//	curl -N 'localhost:8080/query?mode=approx&limit=10&q=(?X)+<-+(Librarians,+type-.job-.next,+?X)'
+//
+// Endpoints: /query (see above), /healthz, /statsz (scheduler, plan cache and
+// pool counters). On SIGINT/SIGTERM the listener stops accepting, in-flight
+// streams drain, and every request's disk-backed state is released before the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"omega"
+	"omega/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "builtin dataset: l4all:L1..L4 or yago:<scale factor>")
+		graphFile = flag.String("graph", "", "graph file (omega-graph v1, or .nt N-Triples)")
+		ontFile   = flag.String("ontology", "", "ontology file (omega-ontology v1)")
+
+		workers    = flag.Int("workers", 4, "concurrently executing requests")
+		queue      = flag.Int("queue", 0, "admitted requests waiting beyond the workers (0 = 2×workers, -1 = none)")
+		quantum    = flag.Int("quantum", 64, "rows per scheduling turn")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		retryAfter = flag.Duration("retry-after", time.Second, "back-off hint attached to 503 rejections")
+		planCache  = flag.Int("plan-cache", 128, "prepared plans retained (LRU)")
+		poolSize   = flag.Int("pool", 0, "evaluator-state bundles retained (0 = workers, -1 = disable pooling)")
+		maxLimit   = flag.Int("max-limit", 10000, "cap on per-request row limit (0 = none)")
+
+		distAware = flag.Bool("distance-aware", true, "enable §4.3 retrieval by distance")
+		disjunct  = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
+		rareSide  = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end")
+		budget    = flag.Int("max-tuples", 5_000_000, "per-request tuple budget (0 = unlimited)")
+		spill     = flag.Int("spill", 0, "spill D_R to disk beyond this many resident tuples (0 = off)")
+		spillDir  = flag.String("spill-dir", "", "parent directory for spill files (default: system temp)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-request log")
+	)
+	flag.Parse()
+
+	g, ont, err := loadData(*data, *graphFile, *ontFile)
+	if err != nil {
+		fatal(err)
+	}
+	opts := omega.Options{
+		DistanceAware:  *distAware,
+		Disjunction:    *disjunct,
+		RareSide:       *rareSide,
+		MaxTuples:      *budget,
+		SpillThreshold: *spill,
+		SpillDir:       *spillDir,
+	}
+	eng := omega.NewEngine(g, ont).WithOptions(opts)
+
+	logger := log.New(os.Stderr, "omega-serve: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	srv := serve.New(serve.Config{
+		Engine:        eng,
+		Workers:       *workers,
+		Queue:         *queue,
+		Quantum:       *quantum,
+		Timeout:       *timeout,
+		RetryAfter:    *retryAfter,
+		PlanCacheSize: *planCache,
+		PoolSize:      *poolSize,
+		MaxLimit:      *maxLimit,
+		Log:           logger,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	fmt.Fprintf(os.Stderr, "omega-serve: listening on %s (%d nodes, %d edges; %d workers, queue %d)\n",
+		*addr, g.NumNodes(), g.NumEdges(), *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "omega-serve: %v — draining\n", s)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight handlers stream their
+	// tails (bounded), then drain the scheduler so every execution has
+	// released its evaluator state and spill files.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "omega-serve: shutdown: %v\n", err)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "omega-serve: drain: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "omega-serve: bye")
+}
+
+// loadData mirrors cmd/omega's dataset selection.
+func loadData(data, graphFile, ontFile string) (*omega.Graph, *omega.Ontology, error) {
+	switch {
+	case data != "":
+		name, arg, _ := strings.Cut(data, ":")
+		switch strings.ToLower(name) {
+		case "l4all":
+			if arg == "" {
+				arg = "L1"
+			}
+			return omega.GenerateL4All(arg)
+		case "yago":
+			factor := 1.0
+			if arg != "" {
+				f, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("omega-serve: bad yago scale %q", arg)
+				}
+				factor = f
+			}
+			g, o := omega.GenerateYAGO(factor)
+			return g, o, nil
+		default:
+			return nil, nil, fmt.Errorf("omega-serve: unknown dataset %q (want l4all:<scale> or yago:<factor>)", data)
+		}
+	case graphFile != "":
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		var g *omega.Graph
+		if strings.HasSuffix(graphFile, ".nt") {
+			b := omega.NewGraphBuilder()
+			if _, err := omega.LoadNTriples(f, b, false); err != nil {
+				return nil, nil, err
+			}
+			g = b.Freeze()
+		} else if g, err = omega.LoadGraph(f); err != nil {
+			return nil, nil, err
+		}
+		var ont *omega.Ontology
+		if ontFile != "" {
+			of, err := os.Open(ontFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer of.Close()
+			if ont, err = omega.LoadOntology(of); err != nil {
+				return nil, nil, err
+			}
+		}
+		return g, ont, nil
+	default:
+		return nil, nil, errors.New("omega-serve: -data or -graph is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "omega-serve: %v\n", err)
+	os.Exit(1)
+}

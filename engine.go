@@ -121,6 +121,20 @@ type Rows struct {
 	g      *Graph
 	err    error
 	closed bool
+	chunk  []string // backing store for row labels, carved per row
+}
+
+// carveLabels cuts a w-wide label slice from the chunk (one allocation per 64
+// rows instead of one per row; rows escape, so they share big buffers rather
+// than reusing one). Full-capacity bounded: appends through a returned row
+// cannot touch its neighbours.
+func (r *Rows) carveLabels(w int) []string {
+	if len(r.chunk)+w > cap(r.chunk) {
+		r.chunk = make([]string, 0, 64*w)
+	}
+	off := len(r.chunk)
+	r.chunk = r.chunk[:off+w]
+	return r.chunk[off : off+w : off+w]
 }
 
 // Next returns the next row in non-decreasing distance. ok=false with a nil
@@ -144,7 +158,7 @@ func (r *Rows) Next() (Row, bool, error) {
 		return Row{}, false, nil
 	}
 	row := Row{Vars: a.Head, Nodes: a.Nodes, Dist: int(a.Dist)}
-	row.Labels = make([]string, len(a.Nodes))
+	row.Labels = r.carveLabels(len(a.Nodes))
 	for i, n := range a.Nodes {
 		row.Labels[i] = r.g.NodeLabel(n)
 	}
@@ -217,7 +231,12 @@ func (r *Rows) Close() error {
 	return r.closer.Close()
 }
 
-// Stats reports evaluation counters if the underlying iterator tracks them.
+// Stats reports the execution's evaluation counters: tuples popped, deferred
+// and reinjected, visited-table population, ψ phases. Multi-conjunct queries
+// aggregate over their conjunct evaluators (counters sum; VisitedSize and
+// Phases take the maximum). The counters stay readable after exhaustion and
+// after Close — they are how a server logs per-request work without reaching
+// into internals.
 func (r *Rows) Stats() Stats {
 	if sr, ok := r.it.(core.StatsReporter); ok {
 		return sr.Stats()

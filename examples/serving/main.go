@@ -1,0 +1,190 @@
+// Example serving: a minimal client of the omega-serve HTTP front-end,
+// demonstrating the two serving-layer contracts a production caller relies
+// on:
+//
+//  1. plan-cache amortisation — the first request for a query text pays
+//     parse + automaton compilation; every repeat is Exec-only (watch the
+//     plan-cache hit counter climb in /statsz while latency drops);
+//  2. graceful overload handling — when the admission queue is full the
+//     server answers 503 with a Retry-After hint instead of queueing without
+//     bound, and a client that backs off and retries completes its work.
+//
+// The example starts an in-process server on a loopback port, so it runs
+// self-contained:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"omega"
+	"omega/internal/l4all"
+	"omega/internal/serve"
+)
+
+const queryText = "(?X) <- APPROX (Librarians, type-.job-.next, ?X)"
+
+func main() {
+	// A deliberately tiny server: one worker and no waiting queue, so the
+	// overload path below triggers deterministically.
+	g, ont := l4all.Generate(l4all.L1)
+	eng := omega.NewEngine(g, ont).WithOptions(omega.Options{DistanceAware: true})
+	srv := serve.New(serve.Config{
+		Engine:     eng,
+		Workers:    1,
+		Queue:      -1, // no waiting queue: excess load is rejected, not parked
+		RetryAfter: 50 * time.Millisecond,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 1. Plan-cache amortisation: the same query text, issued repeatedly.
+	fmt.Println("plan-cache amortisation (same query, repeated):")
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		rows := runQuery(base, queryText, 25)
+		hits, misses := cacheCounters(base)
+		fmt.Printf("  request %d: %2d rows in %6.2fms   plan cache: %d miss, %d hits\n",
+			i+1, rows, float64(time.Since(start).Nanoseconds())/1e6, misses, hits)
+	}
+
+	// 2. Overload: five concurrent clients against one worker and no queue.
+	// Rejected clients honour Retry-After and retry until they get through.
+	fmt.Println("\noverload handling (5 clients, 1 worker, no queue):")
+	var mu sync.Mutex
+	retries := map[int]int{}
+	var wg sync.WaitGroup
+	for c := 0; c < 5; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				// No row limit: each request streams the full answer set, so
+				// concurrent clients genuinely contend for the single worker.
+				status, retryAfter := tryQuery(base, queryText, 0)
+				if status == http.StatusOK {
+					return
+				}
+				if status != http.StatusServiceUnavailable {
+					fmt.Printf("  client %d: unexpected status %d\n", c, status)
+					return
+				}
+				mu.Lock()
+				retries[c]++
+				mu.Unlock()
+				time.Sleep(retryAfter) // the server's back-off hint
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := 0
+	mu.Lock()
+	for _, n := range retries {
+		total += n
+	}
+	mu.Unlock()
+	fmt.Printf("  all 5 clients completed; %d request(s) were rejected with 503 + Retry-After and retried\n", total)
+
+	httpSrv.Close()
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// runQuery streams one query to exhaustion and returns the row count.
+func runQuery(base, text string, limit int) int {
+	u := base + "/query?" + url.Values{"q": {text}, "limit": {strconv.Itoa(limit)}}.Encode()
+	resp, err := http.Get(u)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("status %d", resp.StatusCode))
+	}
+	rows := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var probe map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			fatal(err)
+		}
+		if probe["done"] == true || probe["error"] != nil {
+			break
+		}
+		rows++
+	}
+	return rows
+}
+
+// tryQuery issues one query, returning the HTTP status and, for 503s, the
+// parsed Retry-After hint.
+func tryQuery(base, text string, limit int) (int, time.Duration) {
+	vals := url.Values{"q": {text}}
+	if limit > 0 {
+		vals.Set("limit", strconv.Itoa(limit))
+	}
+	u := base + "/query?" + vals.Encode()
+	resp, err := http.Get(u)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+		return resp.StatusCode, 0
+	}
+	retryAfter := 100 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+			if retryAfter == 0 {
+				retryAfter = 50 * time.Millisecond
+			}
+		}
+	}
+	return resp.StatusCode, retryAfter
+}
+
+// cacheCounters reads the plan-cache hit/miss counters from /statsz.
+func cacheCounters(base string) (hits, misses int64) {
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		PlanCache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"plan_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		fatal(err)
+	}
+	return payload.PlanCache.Hits, payload.PlanCache.Misses
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serving example: %v\n", err)
+	os.Exit(1)
+}

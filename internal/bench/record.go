@@ -24,6 +24,12 @@ type Record struct {
 	Phases       int     `json:"phases"`     // distance-aware ψ phases (1 otherwise)
 	Reinjected   int     `json:"reinjected"` // deferred tuples re-admitted (incremental distance-aware)
 	Failed       bool    `json:"failed"`     // tuple budget exhausted ('?')
+	// Serving-layer metrics (serve experiment).
+	AllocsPerReq float64 `json:"allocs_per_req,omitempty"` // steady-state heap allocations per request
+	BytesPerReq  float64 `json:"bytes_per_req,omitempty"`  // steady-state heap bytes per request
+	QPS          float64 `json:"qps,omitempty"`            // closed-loop requests per second
+	P50Ms        float64 `json:"p50_ms,omitempty"`         // closed-loop median latency
+	P99Ms        float64 `json:"p99_ms,omitempty"`         // closed-loop tail latency
 }
 
 // Recorder accumulates Records across experiments. Safe for concurrent use.

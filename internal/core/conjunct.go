@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"omega/internal/automaton"
+	"omega/internal/bitset"
 	"omega/internal/graph"
 	"omega/internal/ontology"
 	"omega/internal/rpq"
@@ -162,11 +163,25 @@ func (p *conjunctPlan) newEvaluator(ctx context.Context, opts *Options, autIdx i
 	ev.psi = psi
 	ev.finalAnn = p.finalAnn
 	if p.case3 {
-		ev.stream = p.buildStream(aut)
+		ev.stream = p.buildStream(aut, ev.streamSeen())
 	} else {
 		ev.seeds = p.seeds
 	}
 	return ev
+}
+
+// streamSeen returns the de-duplication bitmap for this evaluator's Case 3
+// node stream: the pooled bundle's graph-sized bitmap when pooling is active
+// (created on the bundle's first Case 3 use, cleared by the stream), nil
+// otherwise (the stream allocates its own).
+func (ev *evaluator) streamSeen() *bitset.Set {
+	if ev.state == nil {
+		return nil
+	}
+	if ev.state.seen == nil {
+		ev.state.seen = bitset.New(ev.g.NumNodes())
+	}
+	return ev.state.seen
 }
 
 // open instantiates the per-run evaluator state for this plan: the paper's
@@ -247,8 +262,9 @@ func (p *conjunctPlan) seedEstimate(aut *automaton.Compiled) int {
 // GetAllNodesByLabel / GetAllStartNodesByLabel): node sets that possess an
 // edge matching some transition out of the initial state, retrieved via
 // Tails/Heads/TailsAndHeads, de-duplicated, and — when the initial state is
-// final — followed by every remaining node of the graph (step (iv)).
-func (p *conjunctPlan) buildStream(aut *automaton.Compiled) *graph.NodeStream {
+// final — followed by every remaining node of the graph (step (iv)). seen,
+// when non-nil, is a reusable de-duplication bitmap (pooled executions).
+func (p *conjunctPlan) buildStream(aut *automaton.Compiled, seen *bitset.Set) *graph.NodeStream {
 	var sources [][]graph.NodeID
 	addLabel := func(l graph.LabelID, dir graph.Direction) {
 		switch dir {
@@ -275,7 +291,7 @@ func (p *conjunctPlan) buildStream(aut *automaton.Compiled) *graph.NodeStream {
 		}
 	}
 	_, startFinal := aut.IsFinal(aut.Start)
-	return graph.NewNodeStream(p.g, sources, startFinal)
+	return graph.NewNodeStreamWith(p.g, sources, startFinal, seen)
 }
 
 // emptyIterator yields nothing.

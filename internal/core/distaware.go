@@ -41,7 +41,8 @@ func newDistanceAware(ev *evaluator, phi, maxPsi int32) *distanceAware {
 // across phases instead of restarting evaluation.
 func makeResumable(ev *evaluator, phi, maxPsi int32) {
 	ev.resumable = true
-	if ev.opts.SpillThreshold > 0 {
+	switch {
+	case ev.opts.SpillThreshold > 0:
 		// The user asked for bounded resident memory; the parked frontier
 		// must honour it too, not just D_R.
 		df, err := dstruct.NewDeferredSpill(ev.opts.SpillThreshold, ev.opts.SpillDir, ev.opts.NoFinalFirst)
@@ -52,7 +53,10 @@ func makeResumable(ev *evaluator, phi, maxPsi int32) {
 			df = dstruct.NewDeferred(ev.opts.NoFinalFirst) // placeholder; evaluation fails immediately
 		}
 		ev.deferred = df
-	} else {
+	case ev.state != nil:
+		// Pooled execution: the bundle's frontier was Reset at acquisition.
+		ev.deferred = ev.state.deferred
+	default:
 		ev.deferred = dstruct.NewDeferred(ev.opts.NoFinalFirst)
 	}
 	// The last reachable phase is the first φ-grid point ≥ MaxPsi (the

@@ -44,6 +44,11 @@ type evaluator struct {
 	// when the frontier outgrows every previous one.
 	scratch []graph.NodeID
 
+	// state, when non-nil, is the pooled bundle backing dr/visited/answers
+	// (and deferred, once armed): finish returns it to opts.Pool instead of
+	// discarding it, so the next execution inherits the grown capacities.
+	state *evalState
+
 	// deferred, when non-nil, parks tuples rejected for exceeding ψ instead
 	// of discarding them, so a later resume can re-inject them (incremental
 	// distance-aware mode). deferLimit is the largest ψ the driver can ever
@@ -79,13 +84,24 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 	// dominate the tables' cost on large APPROX frontiers, while selective
 	// queries never pay for the hint.
 	ev := &evaluator{
-		g:       g,
-		aut:     aut,
-		opts:    opts,
-		visited: dstruct.NewVisitedSized(g.NumNodes() * int(aut.NumStates)),
-		answers: dstruct.NewAnswersSized(g.NumNodes()),
-		psi:     -1,
+		g:    g,
+		aut:  aut,
+		opts: opts,
+		psi:  -1,
 	}
+	visHint := g.NumNodes() * int(aut.NumStates)
+	if opts.Pool != nil && opts.SpillThreshold == 0 && !opts.RefDict {
+		// Pooled per-run state: disk-backed dictionaries and the RefDict
+		// differential reference keep their dedicated construction below.
+		ev.state = opts.Pool.get(opts.NoFinalFirst, visHint, g.NumNodes())
+		ev.dr = ev.state.dict
+		ev.visited = ev.state.visited
+		ev.answers = ev.state.answers
+		ev.scratch = ev.state.scratch
+		return ev
+	}
+	ev.visited = dstruct.NewVisitedSized(visHint)
+	ev.answers = dstruct.NewAnswersSized(g.NumNodes())
 	switch {
 	case opts.SpillThreshold > 0:
 		sd, err := dstruct.NewSpillDict(opts.SpillThreshold, opts.SpillDir, opts.NoFinalFirst)
@@ -105,14 +121,30 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 	return ev
 }
 
-// finish releases dictionary and deferred-frontier resources (spill files).
-// Evaluation calls it when the answer stream ends or fails, and Close calls
-// it when an iterator is abandoned mid-stream; it is idempotent.
+// finish releases dictionary and deferred-frontier resources (spill files),
+// or — for a pooled execution — returns the state bundle to the pool for the
+// next request. Evaluation calls it when the answer stream ends or fails, and
+// Close calls it when an iterator is abandoned mid-stream; it is idempotent.
 func (ev *evaluator) finish() {
 	if ev.released {
 		return
 	}
 	ev.released = true
+	if ev.state != nil {
+		st := ev.state
+		ev.state = nil
+		// The scratch and batch buffers may have grown; hand the grown
+		// capacity back with the bundle. Pointers are severed so no code path
+		// on this evaluator can touch state now owned by another execution.
+		st.scratch = ev.scratch[:0]
+		if ev.batch != nil {
+			st.batch = ev.batch
+		}
+		ev.dr, ev.visited, ev.answers, ev.deferred = nil, nil, nil, nil
+		ev.scratch, ev.batch, ev.stream = nil, nil, nil
+		ev.opts.Pool.put(st)
+		return
+	}
 	if ev.dr != nil {
 		_ = ev.dr.Close()
 	}
@@ -222,7 +254,11 @@ func (ev *evaluator) refill() {
 		if ev.opts.NoBatching {
 			size = ev.g.NumNodes() + 1
 		}
-		ev.batch = make([]graph.NodeID, size)
+		if ev.state != nil && cap(ev.state.batch) >= size {
+			ev.batch = ev.state.batch[:size]
+		} else {
+			ev.batch = make([]graph.NodeID, size)
+		}
 	}
 	n := ev.stream.Next(ev.batch)
 	if n == 0 {
@@ -247,6 +283,12 @@ func (ev *evaluator) annCost(n graph.NodeID) (int32, bool) {
 // Next is GetNext (§3.4): it returns the next answer in non-decreasing
 // distance, or ok=false when no more answers exist (within ψ, if set).
 func (ev *evaluator) Next() (Answer, bool, error) {
+	if ev.released {
+		// The run is over and the backing state may already be serving
+		// another execution (pooled mode); keep reporting the terminal
+		// condition without touching it.
+		return Answer{}, false, ev.failed
+	}
 	if ev.failed != nil {
 		ev.finish()
 		return Answer{}, false, ev.failed

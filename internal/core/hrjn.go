@@ -258,6 +258,7 @@ func (h *resultHeap) Pop() interface{} {
 // head variables and de-duplicating projections (first = minimal distance).
 type hrjnQuery struct {
 	q       *Query
+	raw     []Iterator // the conjunct iterators, for Stats aggregation
 	root    rankedInput
 	headIdx []int
 	emitted *projDedup
@@ -272,7 +273,7 @@ func newHRJNQuery(q *Query, its []Iterator) (*hrjnQuery, error) {
 	for i, v := range root.schema() {
 		pos[v] = i
 	}
-	hq := &hrjnQuery{q: q, root: root, emitted: newProjDedup(len(q.Head))}
+	hq := &hrjnQuery{q: q, raw: its, root: root, emitted: newProjDedup(len(q.Head))}
 	for _, hv := range q.Head {
 		i, ok := pos[hv]
 		if !ok {
@@ -282,6 +283,10 @@ func newHRJNQuery(q *Query, its []Iterator) (*hrjnQuery, error) {
 	}
 	return hq, nil
 }
+
+// Stats implements StatsReporter by aggregating over the conjunct iterators
+// (see aggregateStats).
+func (hq *hrjnQuery) Stats() Stats { return aggregateStats(hq.raw) }
 
 func (hq *hrjnQuery) Next() (QueryAnswer, bool, error) {
 	for {

@@ -106,6 +106,21 @@ type singleConjunct struct {
 	it      Iterator
 	dedup   *projDedup
 	scratch []graph.NodeID
+	chunk   []graph.NodeID // backing store for emitted rows, carved per answer
+}
+
+// carve returns a fresh w-wide row slice cut from the chunk, allocating a new
+// 64-row chunk when the current one is full: emitted rows escape to the
+// caller, so they cannot reuse one buffer, but they can share large ones —
+// one allocation per 64 rows instead of one per row. Slices are full-capacity
+// bounded, so no append through a returned row can touch its neighbours.
+func (s *singleConjunct) carve(w int) []graph.NodeID {
+	if len(s.chunk)+w > cap(s.chunk) {
+		s.chunk = make([]graph.NodeID, 0, 64*w)
+	}
+	off := len(s.chunk)
+	s.chunk = s.chunk[:off+w]
+	return s.chunk[off : off+w : off+w]
 }
 
 func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
@@ -135,7 +150,7 @@ func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
 		if !s.dedup.add(s.scratch) {
 			continue
 		}
-		nodes := make([]graph.NodeID, len(s.scratch))
+		nodes := s.carve(len(s.scratch))
 		copy(nodes, s.scratch)
 		return QueryAnswer{Head: s.q.Head, Nodes: nodes, Dist: a.Dist}, true, nil
 	}
@@ -185,6 +200,7 @@ func (p *peekIterator) consume() Answer {
 // practice (unit operation costs), so the rounds advance quickly.
 type rankedJoin struct {
 	q    *Query
+	raw  []Iterator // the conjunct iterators, for Stats aggregation
 	its  []*peekIterator
 	byD  []map[int32][]Answer
 	maxD []int32
@@ -200,6 +216,7 @@ type rankedJoin struct {
 func newRankedJoin(q *Query, its []Iterator) *rankedJoin {
 	rj := &rankedJoin{
 		q:       q,
+		raw:     its,
 		emitted: newProjDedup(len(q.Head)),
 	}
 	for _, it := range its {
@@ -289,6 +306,33 @@ func (rj *rankedJoin) runRound() error {
 		}
 	}
 	return nil
+}
+
+// Stats implements StatsReporter by aggregating over the conjunct iterators:
+// counter fields sum, VisitedSize and Phases take the per-conjunct maximum
+// (following the disjunction driver's convention). This is what lets a server
+// log per-request pops/deferred/reinjected for multi-conjunct queries too.
+func (rj *rankedJoin) Stats() Stats { return aggregateStats(rj.raw) }
+
+// aggregateStats folds the conjunct iterators' counters into one Stats.
+func aggregateStats(its []Iterator) Stats {
+	var s Stats
+	for _, it := range its {
+		cs := statsOf(it)
+		s.TuplesAdded += cs.TuplesAdded
+		s.TuplesPopped += cs.TuplesPopped
+		s.NeighborCalls += cs.NeighborCalls
+		s.CacheHits += cs.CacheHits
+		s.Deferred += cs.Deferred
+		s.Reinjected += cs.Reinjected
+		if cs.VisitedSize > s.VisitedSize {
+			s.VisitedSize = cs.VisitedSize
+		}
+		if cs.Phases > s.Phases {
+			s.Phases = cs.Phases
+		}
+	}
+	return s
 }
 
 // combine recursively assigns each conjunct an answer whose distances sum to

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync"
+
+	"omega/internal/bitset"
+	"omega/internal/dstruct"
+	"omega/internal/graph"
+)
+
+// This file implements the evaluator-state pool of the serving layer: the
+// per-execution structures (D_R, the visited table, the answer registry, the
+// deferred frontier, the Case 3 seen bitmap and the scratch buffers) dominate
+// the allocation profile of a steady-state request — not because they are
+// created, but because they are *grown*: a fresh open-addressed table starts
+// at 64 slots and rehash-copies its way up on every request, and a fresh D_R
+// re-extends its bucket array the same way. EvalPool recycles the grown
+// structures across executions instead: each gets a used bundle, Resets it
+// (cheap truncations and memsets, no allocation) and hands it to the next
+// evaluator. Pooled and fresh executions are observationally identical — the
+// structures expose only membership and ordered pops, neither of which
+// depends on capacity — which the corpus differential tests pin.
+
+// evalState is one recyclable bundle of per-evaluator mutable state. It is
+// graph- and query-agnostic: everything in it is keyed by integer IDs, so one
+// pool may serve any number of prepared queries over any number of graphs.
+type evalState struct {
+	dict     *dstruct.Dict
+	visited  *dstruct.Visited
+	answers  *dstruct.Answers
+	deferred *dstruct.Deferred
+	seen     *bitset.Set // Case 3 stream de-dup; lazily created
+	scratch  []graph.NodeID
+	batch    []graph.NodeID
+}
+
+// PoolStats reports pool effectiveness counters.
+type PoolStats struct {
+	// Gets counts state acquisitions; Reuses of them were served from the
+	// free list and Misses allocated fresh bundles.
+	Gets   int64 `json:"gets"`
+	Reuses int64 `json:"reuses"`
+	Misses int64 `json:"misses"`
+	// Puts counts states returned by finished executions; Discarded of them
+	// were dropped because the free list was at capacity.
+	Puts      int64 `json:"puts"`
+	Discarded int64 `json:"discarded"`
+	// Idle is the current free-list population.
+	Idle int `json:"idle"`
+}
+
+// EvalPool recycles evaluator state across executions. It is safe for
+// concurrent use by any number of goroutines; a state acquired by one
+// execution is owned exclusively until that execution finishes (exhaustion,
+// error, or Close), at which point it returns to the pool.
+//
+// Pooling engages per execution via ExecOptions.Pool (or engine-wide via
+// Options.Pool) and silently stands aside for configurations whose state is
+// not recyclable: spilling dictionaries (disk-backed) and the RefDict
+// differential reference.
+type EvalPool struct {
+	mu    sync.Mutex
+	free  []*evalState
+	max   int
+	stats PoolStats
+}
+
+// NewEvalPool returns a pool retaining at most max idle states (0 picks a
+// default of 64). Size it to the peak number of concurrently executing
+// conjunct evaluators — for a serving workload, roughly the worker count
+// times the conjuncts per query.
+func NewEvalPool(max int) *EvalPool {
+	if max <= 0 {
+		max = 64
+	}
+	return &EvalPool{max: max}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *EvalPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = len(p.free)
+	return s
+}
+
+// get acquires a reset state bundle sized by the hints (visited: product
+// graph population; answers: one binding per node), creating a fresh bundle
+// when the free list is empty.
+func (p *EvalPool) get(noFinalFirst bool, visHint, ansHint int) *evalState {
+	p.mu.Lock()
+	p.stats.Gets++
+	var st *evalState
+	if n := len(p.free); n > 0 {
+		st = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.stats.Reuses++
+	} else {
+		p.stats.Misses++
+	}
+	p.mu.Unlock()
+	if st == nil {
+		dict := dstruct.NewDict()
+		if noFinalFirst {
+			dict = dstruct.NewDictNoFinalFirst()
+		}
+		return &evalState{
+			dict:     dict,
+			visited:  dstruct.NewVisitedSized(visHint),
+			answers:  dstruct.NewAnswersSized(ansHint),
+			deferred: dstruct.NewDeferred(noFinalFirst),
+		}
+	}
+	st.dict.Reset(noFinalFirst)
+	st.visited.Reset(visHint)
+	st.answers.Reset(ansHint)
+	st.deferred.Reset(noFinalFirst)
+	return st
+}
+
+// put returns a state bundle to the free list, dropping it when the list is
+// at capacity (the bound is what keeps a traffic spike from pinning its peak
+// memory forever).
+func (p *EvalPool) put(st *evalState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Puts++
+	if len(p.free) >= p.max {
+		p.stats.Discarded++
+		return
+	}
+	p.free = append(p.free, st)
+}

@@ -46,6 +46,9 @@ type ExecOptions struct {
 	// execution with a given override compiles that variant's automata; the
 	// variant is cached in the Prepared, so repeats pay nothing.
 	Mode *automaton.Mode
+	// Pool, when non-nil, recycles this execution's evaluator state from (and
+	// back to) the given pool, overriding Options.Pool. See EvalPool.
+	Pool *EvalPool
 }
 
 // planSet is one fully compiled variant of a prepared query: the (possibly
@@ -205,6 +208,9 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	}
 	if eo.MaxTuples > 0 {
 		ex.opts.MaxTuples = eo.MaxTuples
+	}
+	if eo.Pool != nil {
+		ex.opts.Pool = eo.Pool
 	}
 	ex.its = make([]Iterator, len(ps.plans))
 	for i, plan := range ps.plans {

@@ -58,21 +58,19 @@ func NewDeferred(noFinalFirst bool) *Deferred {
 }
 
 // NewDeferredSpill returns a deferred frontier keeping at most threshold
-// parked tuples resident, spilling the rest to dir (a fresh temp directory
-// when empty, removed by Close).
+// parked tuples resident, spilling the rest into a fresh subdirectory of dir
+// (of the system temp dir when empty), removed by Close. The subdirectory is
+// what lets concurrent executions share one configured spill directory; see
+// NewSpillDict.
 func NewDeferredSpill(threshold int, dir string, noFinalFirst bool) (*Deferred, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("dstruct: NewDeferredSpill: threshold must be positive")
 	}
-	own := false
-	if dir == "" {
-		d, err := os.MkdirTemp("", "omega-deferred-*")
-		if err != nil {
-			return nil, fmt.Errorf("dstruct: NewDeferredSpill: %w", err)
-		}
-		dir = d
-		own = true
+	dir, err := os.MkdirTemp(dir, "omega-deferred-*")
+	if err != nil {
+		return nil, fmt.Errorf("dstruct: NewDeferredSpill: %w", err)
 	}
+	own := true
 	return &Deferred{
 		noFinalFirst: noFinalFirst,
 		threshold:    threshold,
@@ -124,6 +122,35 @@ func (df *Deferred) Add(t Tuple) {
 
 // Len returns the number of parked tuples (resident + spilled).
 func (df *Deferred) Len() int { return df.size }
+
+// Reset restores the frontier to its empty, usable state, retaining bucket
+// capacity for a pooled reuse (the counterpart of Dict.Reset). Any spilled
+// state is released like Close would — the pool only recycles in-memory
+// frontiers, but a stray spill must not leak files — and the closed flag is
+// cleared so the frontier accepts tuples again.
+func (df *Deferred) Reset(noFinalFirst bool) {
+	for i := range df.buckets {
+		b := &df.buckets[i]
+		b.final = b.final[:0]
+		b.nonFinal = b.nonFinal[:0]
+	}
+	df.overflow = df.overflow[:0]
+	df.cursor = 0
+	df.size = 0
+	df.resident = 0
+	df.noFinalFirst = noFinalFirst
+	df.err = nil
+	df.closed = false
+	if df.onDisk != nil {
+		for k, n := range df.onDisk {
+			if n > 0 {
+				_ = os.Remove(df.path(k))
+			}
+		}
+		df.onDisk = map[int64]int{}
+		df.diskKeys = nil
+	}
+}
 
 // Resident returns the number of parked tuples currently held in memory.
 func (df *Deferred) Resident() int { return df.resident }

@@ -213,7 +213,7 @@ func TestQuickDeferredSpillMatchesResident(t *testing.T) {
 		if err := sp.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if files, _ := filepath.Glob(filepath.Join(dir, "*.spill")); len(files) != 0 {
+		if files, _ := filepath.Glob(filepath.Join(dir, "*", "*.spill")); len(files) != 0 {
 			t.Fatalf("spill files survive Close: %v", files)
 		}
 	}

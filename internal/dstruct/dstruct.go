@@ -174,6 +174,26 @@ func (dd *Dict) Remove() (Tuple, bool) {
 // Len returns the number of stored tuples.
 func (dd *Dict) Len() int { return dd.size }
 
+// Reset restores the dictionary to its empty state while retaining the bucket
+// array and every per-bucket slice capacity, so a pooled reuse inserts on the
+// steady path without allocating. Tuples hold no pointers, so truncating the
+// slices pins no garbage. noFinalFirst is re-armed because a pooled dictionary
+// may serve engines with different ablation settings. The rare out-of-range
+// overflow dictionary is dropped rather than recycled (it only exists under
+// extreme custom costs, and its map+heap does not reset cheaply).
+func (dd *Dict) Reset(noFinalFirst bool) {
+	for i := range dd.buckets {
+		b := &dd.buckets[i]
+		b.final = b.final[:0]
+		b.nonFinal = b.nonFinal[:0]
+	}
+	dd.cursor = 0
+	dd.overflow = nil
+	dd.size = 0
+	dd.adds = 0
+	dd.noFinalFirst = noFinalFirst
+}
+
 // Adds returns the lifetime number of insertions (the memory-pressure metric
 // used to emulate the paper's out-of-memory failures).
 func (dd *Dict) Adds() int { return dd.adds }
@@ -327,6 +347,19 @@ func (vs *Visited) Add(v, n graph.NodeID, s int32) bool {
 	}
 }
 
+// Reset empties the set, retaining the table at its current capacity (a
+// pooled reuse probes the same-sized table a warm run would have grown into,
+// skipping every rehash copy) and re-arming the size hint for the next run.
+// Membership is the only observable behaviour, so a reset table is
+// indistinguishable from a fresh one to the evaluator.
+func (vs *Visited) Reset(hint int) {
+	if vs.n > 0 {
+		clear(vs.entries)
+	}
+	vs.n = 0
+	vs.hint = hint
+}
+
 // Contains reports whether (v, n, s) has been processed.
 func (vs *Visited) Contains(v, n graph.NodeID, s int32) bool {
 	vn := pack(v, n)
@@ -416,6 +449,17 @@ func (s *U64Set) Add(k uint64) bool {
 	return true
 }
 
+// Reset empties the set, retaining capacity and re-arming the size hint.
+func (s *U64Set) Reset(hint int) {
+	if s.n > 0 {
+		for i := range s.entries {
+			s.entries[i] = u64Empty
+		}
+	}
+	s.n = 0
+	s.hint = hint
+}
+
 // Contains reports whether k is in the set.
 func (s *U64Set) Contains(k uint64) bool {
 	mask := uint64(len(s.entries) - 1)
@@ -467,6 +511,13 @@ func NewAnswers() *Answers {
 // (e.g. the data graph's node count for a single-source conjunct).
 func NewAnswersSized(hint int) *Answers {
 	return &Answers{pairs: NewU64SetSized(hint)}
+}
+
+// Reset empties the registry, retaining the pair-set table and the emission
+// slice capacity (Answer holds no pointers, so truncation pins no garbage).
+func (a *Answers) Reset(hint int) {
+	a.pairs.Reset(hint)
+	a.order = a.order[:0]
 }
 
 // Has reports whether (v, n) was already emitted at some distance.

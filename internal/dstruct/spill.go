@@ -89,21 +89,19 @@ type SpillDict struct {
 }
 
 // NewSpillDict creates a spilling dictionary keeping at most threshold
-// tuples resident. dir is the spill directory; when empty, a fresh directory
-// under the system temp dir is created (and removed by Close).
+// tuples resident. dir is the parent spill directory (the system temp dir
+// when empty); each dictionary spills into its own fresh subdirectory of it,
+// removed by Close, so any number of concurrent executions may share one
+// configured spill directory without their per-key files colliding.
 func NewSpillDict(threshold int, dir string, noFinalFirst bool) (*SpillDict, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("dstruct: NewSpillDict: threshold must be positive")
 	}
-	own := false
-	if dir == "" {
-		d, err := os.MkdirTemp("", "omega-spill-*")
-		if err != nil {
-			return nil, fmt.Errorf("dstruct: NewSpillDict: %w", err)
-		}
-		dir = d
-		own = true
+	dir, err := os.MkdirTemp(dir, "omega-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("dstruct: NewSpillDict: %w", err)
 	}
+	own := true
 	mem := NewDict()
 	if noFinalFirst {
 		mem = NewDictNoFinalFirst()

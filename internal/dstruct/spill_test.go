@@ -151,14 +151,14 @@ func TestSpillDictCloseRemovesFiles(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		sd.Add(tup(i, i, 0, i%7, false))
 	}
-	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.spill"))
 	if len(files) == 0 {
 		t.Fatal("no spill files created")
 	}
 	if err := sd.Close(); err != nil {
 		t.Fatal(err)
 	}
-	files, _ = filepath.Glob(filepath.Join(dir, "*.spill"))
+	files, _ = filepath.Glob(filepath.Join(dir, "*", "*.spill"))
 	if len(files) != 0 {
 		t.Fatalf("spill files survive Close: %v", files)
 	}
@@ -188,7 +188,7 @@ func TestSpillDictClosedIsInert(t *testing.T) {
 	if _, ok := sd.Remove(); ok {
 		t.Fatal("Remove on a closed dictionary returned a tuple")
 	}
-	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.spill"))
 	if len(files) != 0 {
 		t.Fatalf("Add after Close recreated spill files: %v", files)
 	}
@@ -214,7 +214,7 @@ func TestDeferredClosedIsInert(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		df.Add(tup(i, i, 0, i%7, false))
 	}
-	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.spill"))
 	if len(files) != 0 {
 		t.Fatalf("Add after Close recreated spill files: %v", files)
 	}

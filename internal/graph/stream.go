@@ -22,11 +22,25 @@ type NodeStream struct {
 // all nodes of g not already yielded follow in increasing NodeID order (step
 // (iv) of GetAllNodesByLabel).
 func NewNodeStream(g *Graph, sources [][]NodeID, includeRest bool) *NodeStream {
+	return NewNodeStreamWith(g, sources, includeRest, nil)
+}
+
+// NewNodeStreamWith is NewNodeStream with a caller-supplied seen set, so a
+// pooled execution reuses one graph-sized bitmap across requests instead of
+// allocating a fresh one per stream. The set is cleared here; nil allocates
+// as NewNodeStream does. The stream owns the set until it is exhausted or
+// abandoned.
+func NewNodeStreamWith(g *Graph, sources [][]NodeID, includeRest bool, seen *bitset.Set) *NodeStream {
+	if seen == nil {
+		seen = bitset.New(g.NumNodes())
+	} else {
+		seen.Clear()
+	}
 	return &NodeStream{
 		sources: sources,
 		rest:    includeRest,
 		g:       g,
-		seen:    bitset.New(g.NumNodes()),
+		seen:    seen,
 	}
 }
 

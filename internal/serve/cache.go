@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"omega"
+)
+
+// PlanCache is an LRU cache of prepared queries keyed by query text plus
+// mode override: the serving analogue of a prepared-statement cache. The
+// first request for a (text, mode) pair pays parse + compile once; every
+// subsequent request executes the cached immutable plan, so the steady-state
+// request path is Exec-only. Concurrent first requests for the same key
+// compile once (followers wait on the leader's entry).
+type PlanCache struct {
+	eng *omega.Engine
+	max int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     int64
+	misses   int64
+	evicted  int64
+	failures int64
+}
+
+// planEntry is one cache slot. ready closes when compilation finishes; pq
+// and err are immutable afterwards.
+type planEntry struct {
+	key   string
+	ready chan struct{}
+	pq    *omega.PreparedQuery
+	err   error
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Failures  int64 `json:"failures"` // compilations that errored (not cached)
+}
+
+// NewPlanCache returns a cache over eng retaining at most max plans
+// (0 picks a default of 128).
+func NewPlanCache(eng *omega.Engine, max int) *PlanCache {
+	if max <= 0 {
+		max = 128
+	}
+	return &PlanCache{
+		eng:     eng,
+		max:     max,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// cacheKey separates the mode override from the query text with a byte that
+// cannot occur in either.
+func cacheKey(text string, mode *omega.Mode) string {
+	if mode == nil {
+		return "\x00" + text
+	}
+	return mode.String() + "\x00" + text
+}
+
+// Get returns the prepared plan for (text, mode), compiling and caching it on
+// first use. mode == nil prepares the query as written; otherwise every
+// conjunct's mode is overridden (the study's exact/APPROX/RELAX sweeps).
+// Parse and compile errors are returned but never cached: a mistyped query
+// must not poison the slot for its corrected retry.
+func (c *PlanCache) Get(text string, mode *omega.Mode) (*omega.PreparedQuery, error) {
+	key := cacheKey(text, mode)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*planEntry)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.pq, e.err
+	}
+	c.misses++
+	e := &planEntry{key: key, ready: make(chan struct{})}
+	el := c.lru.PushFront(e)
+	c.entries[key] = el
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		victim := back.Value.(*planEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		c.evicted++
+		// An evicted entry mid-compile still completes for its waiters; it
+		// is simply no longer findable.
+	}
+	c.mu.Unlock()
+
+	e.pq, e.err = c.compile(text, mode)
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		c.failures++
+		if el2, ok := c.entries[key]; ok && el2 == el {
+			c.lru.Remove(el2)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.pq, e.err
+}
+
+func (c *PlanCache) compile(text string, mode *omega.Mode) (*omega.PreparedQuery, error) {
+	q, err := omega.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	if mode != nil {
+		for i := range q.Conjuncts {
+			q.Conjuncts[i].Mode = *mode
+		}
+	}
+	return c.eng.Prepare(q)
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+		Failures:  c.failures,
+	}
+}

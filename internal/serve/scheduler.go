@@ -1,0 +1,341 @@
+// Package serve is Omega's concurrent serving subsystem: it turns the
+// compile-once / execute-many API (Engine.Prepare + PreparedQuery.Exec) into
+// a high-QPS front-end. Three pieces compose:
+//
+//   - an admission-controlled Scheduler that drains many concurrent
+//     executions fairly over a bounded worker pool, rejecting excess load
+//     with a typed ErrOverloaded instead of queueing without bound;
+//   - a PlanCache, an LRU of prepared queries keyed by query text + mode, so
+//     a repeated query never pays parse/compile again;
+//   - a Server, an HTTP front-end that streams answers as NDJSON rows in
+//     ranked order as they are produced, with per-request deadlines, budgets
+//     and deterministic resource release on every exit path.
+//
+// The enumeration view of RPQ evaluation motivates the shape: answers stream
+// with small per-answer delay after a one-off setup, so the serving layer's
+// job is to amortise the setup (plan cache, evaluator-state pool) and to
+// multiplex many in-flight enumerations without letting any one of them
+// monopolise the workers (the scheduler's row quantum).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"omega"
+)
+
+// ErrOverloaded is reported (wrapped) when admission control rejects a
+// request because the scheduler already has its maximum number of requests
+// in flight. Callers should back off and retry; errors.As with
+// *OverloadedError recovers the suggested delay.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrSchedulerClosed is reported for requests submitted after Close.
+var ErrSchedulerClosed = errors.New("serve: scheduler closed")
+
+// OverloadedError carries the admission-control context of a rejection. It
+// wraps ErrOverloaded, so errors.Is(err, ErrOverloaded) holds.
+type OverloadedError struct {
+	// InFlight is the number of admitted requests at rejection time.
+	InFlight int
+	// RetryAfter is the suggested client back-off.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%d requests in flight, retry after %s)", e.InFlight, e.RetryAfter)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// SchedulerConfig sizes a Scheduler. The zero value gets sensible defaults.
+type SchedulerConfig struct {
+	// Workers is the number of concurrently executing requests (default 4).
+	// One worker drives one execution at a time, for one quantum of rows.
+	Workers int
+	// Queue is the number of admitted requests allowed to wait beyond the
+	// ones being executed (default 2×Workers; negative means no waiting
+	// queue). Admission rejects with ErrOverloaded once Workers+Queue
+	// requests are in flight.
+	Queue int
+	// Quantum is the number of rows a request streams per scheduling turn
+	// (default 64). Smaller quanta interleave concurrent requests more
+	// finely; larger ones reduce switching overhead.
+	Quantum int
+	// Timeout, when positive, is the default per-request deadline applied to
+	// requests whose context has none.
+	Timeout time.Duration
+	// RetryAfter is the back-off hint attached to ErrOverloaded rejections
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	// Queue is resolved by queueSlots, not rewritten here: 0 must keep
+	// meaning "default" and negative "none" even if defaults are applied
+	// more than once (the Server defaults the config before handing it to
+	// NewScheduler, which defaults it again).
+	if c.Quantum <= 0 {
+		c.Quantum = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// queueSlots resolves the Queue field: 0 = default (2×Workers), negative =
+// no waiting queue.
+func (c SchedulerConfig) queueSlots() int {
+	switch {
+	case c.Queue == 0:
+		return 2 * c.Workers
+	case c.Queue < 0:
+		return 0
+	default:
+		return c.Queue
+	}
+}
+
+// SchedulerStats is a snapshot of the scheduler's counters.
+type SchedulerStats struct {
+	Submitted int64 `json:"submitted"` // admitted requests
+	Rejected  int64 `json:"rejected"`  // admission rejections (ErrOverloaded)
+	Completed int64 `json:"completed"` // requests finished without error
+	Failed    int64 `json:"failed"`    // requests finished with an error (incl. cancellation)
+	InFlight  int   `json:"in_flight"` // admitted, not yet finished
+	Queued    int   `json:"queued"`    // admitted, waiting for a worker turn
+}
+
+// task is one admitted request, cooperatively executed in row quanta.
+type task struct {
+	ctx   context.Context
+	start func(ctx context.Context) (*omega.Rows, error)
+	onRow func(omega.Row) error
+
+	rows  *omega.Rows
+	n     int
+	stats omega.Stats
+	err   error
+	done  chan struct{}
+}
+
+// Result summarises one completed request.
+type Result struct {
+	// Rows is the number of rows delivered to the sink.
+	Rows int
+	// Stats carries the execution's evaluation counters (zero when the
+	// request failed before executing).
+	Stats omega.Stats
+}
+
+// Scheduler fairly drains many concurrent query executions over a bounded
+// worker pool. Each admitted request is executed in quanta of rows: a worker
+// picks the request at the head of the run queue, streams one quantum to the
+// request's sink, and re-queues it at the tail, so every in-flight request
+// makes progress regardless of how long its neighbours run — the scheduling
+// analogue of ranked emission's small per-answer delay. Admission is bounded:
+// beyond Workers+Queue in-flight requests, Stream rejects immediately with
+// ErrOverloaded rather than building an unbounded backlog.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    []*task // run queue (round-robin tail re-queue)
+	inFlight int     // admitted and not finished (queued + mid-quantum)
+	running  int     // workers currently executing a quantum
+	closed   bool
+	stats    SchedulerStats
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler with cfg.Workers worker goroutines. Close
+// drains and stops them.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{cfg: cfg.withDefaults()}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Stream admits one request and blocks until it finishes: start is called on
+// a worker (once the request's first turn comes) to begin the execution, and
+// onRow receives every row in ranked order, possibly across several worker
+// turns but never concurrently. The returned error is nil on normal
+// exhaustion; an admission rejection surfaces as ErrOverloaded (with
+// *OverloadedError context) before start ever runs; cancellation and
+// deadline surface as omega.ErrCanceled / omega.ErrDeadline. Whatever the
+// exit path, the execution's Rows is closed before Stream returns — that is
+// the deterministic-release guarantee the HTTP layer relies on.
+func (s *Scheduler) Stream(ctx context.Context, start func(ctx context.Context) (*omega.Rows, error), onRow func(omega.Row) error) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.Timeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+			defer cancel()
+		}
+	}
+	t := &task{ctx: ctx, start: start, onRow: onRow, done: make(chan struct{})}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Result{}, ErrSchedulerClosed
+	}
+	if s.inFlight >= s.cfg.Workers+s.cfg.queueSlots() {
+		s.stats.Rejected++
+		n := s.inFlight
+		s.mu.Unlock()
+		return Result{}, &OverloadedError{InFlight: n, RetryAfter: s.cfg.RetryAfter}
+	}
+	s.inFlight++
+	s.stats.Submitted++
+	s.ready = append(s.ready, t)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	<-t.done
+	return Result{Rows: t.n, Stats: t.stats}, t.err
+}
+
+// worker executes one quantum at a time off the head of the run queue.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.ready) == 0 && !(s.closed && s.inFlight == 0) {
+			s.cond.Wait()
+		}
+		if len(s.ready) == 0 {
+			// Closed and fully drained.
+			s.mu.Unlock()
+			return
+		}
+		t := s.ready[0]
+		copy(s.ready, s.ready[1:])
+		s.ready = s.ready[:len(s.ready)-1]
+		s.running++
+		s.mu.Unlock()
+
+		finished := s.runQuantum(t)
+
+		s.mu.Lock()
+		s.running--
+		if finished {
+			s.inFlight--
+			if t.err != nil {
+				s.stats.Failed++
+			} else {
+				s.stats.Completed++
+			}
+			if s.closed && s.inFlight == 0 {
+				s.cond.Broadcast() // wake every worker so they can exit
+			}
+		} else {
+			s.ready = append(s.ready, t)
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+		if finished {
+			close(t.done)
+		}
+	}
+}
+
+// runQuantum advances t by one scheduling turn and reports whether the
+// request finished. On every finishing path the execution's Rows has been
+// closed (and its Stats captured) before the caller observes completion.
+func (s *Scheduler) runQuantum(t *task) bool {
+	if t.rows == nil {
+		// First turn: honour a cancellation that happened while queued, then
+		// start the execution. Starting lazily keeps evaluator state bounded
+		// by the worker+queue populations, not by the submission rate.
+		if err := t.ctx.Err(); err != nil {
+			t.err = mapCtxErr(err)
+			return true
+		}
+		rows, err := t.start(t.ctx)
+		if err != nil {
+			t.err = err
+			return true
+		}
+		t.rows = rows
+	}
+	for i := 0; i < s.cfg.Quantum; i++ {
+		row, ok, err := t.rows.Next()
+		if err != nil {
+			t.err = err
+			s.finishRows(t)
+			return true
+		}
+		if !ok {
+			s.finishRows(t)
+			return true
+		}
+		if err := t.onRow(row); err != nil {
+			t.err = err
+			s.finishRows(t)
+			return true
+		}
+		t.n++
+	}
+	return false // quantum exhausted; re-queue for the next turn
+}
+
+// finishRows captures the execution's counters and releases it.
+func (s *Scheduler) finishRows(t *task) {
+	t.stats = t.rows.Stats()
+	_ = t.rows.Close()
+}
+
+// mapCtxErr maps a context error onto the engine's typed errors, so a
+// request canceled while still queued reports the same error a running one
+// would.
+func mapCtxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return omega.ErrDeadline
+	}
+	return omega.ErrCanceled
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.InFlight = s.inFlight
+	st.Queued = len(s.ready)
+	return st
+}
+
+// RetryAfter returns the back-off hint attached to overload rejections.
+func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Close stops admission, drains every in-flight request to completion and
+// stops the workers. It is idempotent and safe to call concurrently with
+// Stream (late submissions report ErrSchedulerClosed).
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"omega"
+)
+
+// Config assembles a Server. Engine is required; everything else defaults.
+type Config struct {
+	// Engine evaluates the queries (its Options fix costs, optimisation
+	// strategies and spilling for every request).
+	Engine *omega.Engine
+	// Scheduler sizing; see SchedulerConfig (Queue: 0 = default, negative =
+	// no waiting queue).
+	Workers, Queue, Quantum int
+	// Timeout is the default per-request deadline applied when the request
+	// carries no timeout parameter (0 = none).
+	Timeout time.Duration
+	// RetryAfter is the back-off hint sent with 503 rejections (default 1s).
+	RetryAfter time.Duration
+	// PlanCacheSize bounds the LRU of prepared queries (default 128).
+	PlanCacheSize int
+	// PoolSize bounds the evaluator-state pool (default: Workers so the
+	// steady state retains one bundle per worker; multi-conjunct workloads
+	// may want more). Negative disables pooling.
+	PoolSize int
+	// MaxLimit caps the per-request row limit; requests asking for more (or
+	// for everything) are clamped. 0 means no cap.
+	MaxLimit int
+	// Log, when non-nil, receives one line per finished request (rows,
+	// latency, evaluation counters) and server lifecycle events.
+	Log *log.Logger
+}
+
+// Server is the HTTP front-end: an NDJSON streaming endpoint over the plan
+// cache, the scheduler and the evaluator-state pool.
+//
+// Endpoints:
+//
+//	GET/POST /query    — evaluate; streams NDJSON (see handleQuery)
+//	GET      /healthz  — liveness
+//	GET      /statsz   — scheduler / plan-cache / pool counters as JSON
+type Server struct {
+	eng   *omega.Engine
+	cache *PlanCache
+	sched *Scheduler
+	pool  *omega.EvalPool
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+}
+
+// New assembles a Server from cfg. Close it to drain in-flight requests.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("serve: Config.Engine is required")
+	}
+	sc := SchedulerConfig{
+		Workers:    cfg.Workers,
+		Queue:      cfg.Queue,
+		Quantum:    cfg.Quantum,
+		Timeout:    cfg.Timeout,
+		RetryAfter: cfg.RetryAfter,
+	}.withDefaults()
+	s := &Server{
+		eng:   cfg.Engine,
+		cache: NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
+		sched: NewScheduler(sc),
+		logf:  func(string, ...any) {},
+	}
+	if cfg.Log != nil {
+		s.logf = cfg.Log.Printf
+	}
+	if cfg.PoolSize >= 0 {
+		size := cfg.PoolSize
+		if size == 0 {
+			size = sc.Workers
+		}
+		s.pool = omega.NewEvalPool(size)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, cfg.MaxLimit) })
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Scheduler exposes the underlying scheduler (stats, retry hint).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Pool exposes the evaluator-state pool (nil when disabled).
+func (s *Server) Pool() *omega.EvalPool { return s.pool }
+
+// PlanCache exposes the prepared-plan cache.
+func (s *Server) PlanCache() *PlanCache { return s.cache }
+
+// Close stops admission and drains every in-flight request; after it returns,
+// no request holds evaluator state or spill files. Call it after the HTTP
+// listener has shut down.
+func (s *Server) Close() error {
+	err := s.sched.Close()
+	s.logf("serve: scheduler drained")
+	return err
+}
+
+// rowLine is one streamed NDJSON answer row.
+type rowLine struct {
+	Vars   []string       `json:"vars"`
+	Labels []string       `json:"labels"`
+	Nodes  []omega.NodeID `json:"nodes"`
+	Dist   int            `json:"dist"`
+}
+
+// doneLine terminates a successful stream.
+type doneLine struct {
+	Done      bool      `json:"done"`
+	Rows      int       `json:"rows"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+	Stats     statsLine `json:"stats"`
+}
+
+// errorLine terminates a stream that failed after rows were already sent.
+type errorLine struct {
+	Error string `json:"error"`
+	Rows  int    `json:"rows"`
+}
+
+// statsLine is the wire form of the per-request evaluation counters.
+type statsLine struct {
+	TuplesAdded  int `json:"tuples_added"`
+	TuplesPopped int `json:"tuples_popped"`
+	VisitedSize  int `json:"visited_size"`
+	Phases       int `json:"phases"`
+	Deferred     int `json:"deferred"`
+	Reinjected   int `json:"reinjected"`
+}
+
+func toStatsLine(s omega.Stats) statsLine {
+	return statsLine{
+		TuplesAdded:  s.TuplesAdded,
+		TuplesPopped: s.TuplesPopped,
+		VisitedSize:  s.VisitedSize,
+		Phases:       s.Phases,
+		Deferred:     s.Deferred,
+		Reinjected:   s.Reinjected,
+	}
+}
+
+// parseMode maps the request's mode parameter onto a mode override. The empty
+// string means "as written".
+func parseMode(s string) (*omega.Mode, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return nil, nil
+	case "exact":
+		return omega.ModeOverride(omega.Exact), nil
+	case "approx":
+		return omega.ModeOverride(omega.Approx), nil
+	case "relax":
+		return omega.ModeOverride(omega.Relax), nil
+	case "flex":
+		return omega.ModeOverride(omega.Flex), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want exact, approx, relax or flex)", s)
+	}
+}
+
+func parseIntParam(r *http.Request, name string) (int, error) {
+	v := r.FormValue(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	// The int32 bound keeps downstream narrowing (ExecOptions.MaxDist)
+	// from silently wrapping a huge value into a small positive cap.
+	if err != nil || n < 0 || n > math.MaxInt32 {
+		return 0, fmt.Errorf("invalid %s %q", name, v)
+	}
+	return n, nil
+}
+
+// handleQuery evaluates one query and streams its answers.
+//
+// Parameters (query string or form body):
+//
+//	q        — the CRP query text, e.g. (?X) <- APPROX (UK, locatedIn-, ?X)   [required]
+//	mode     — exact | approx | relax | flex; overrides every conjunct's mode
+//	limit    — maximum rows to return
+//	maxdist  — maximum total answer distance
+//	maxtuples— per-request tuple budget override
+//	timeout  — per-request deadline, Go duration syntax (e.g. 2s, 500ms)
+//
+// The response is application/x-ndjson: one JSON object per answer row, in
+// non-decreasing distance, flushed as produced, then a final object — either
+// {"done":true,...} with the evaluation counters or {"error":...} if the
+// stream failed mid-flight. Failures before the first row map to HTTP status
+// codes: 400 (bad query/parameters), 503 + Retry-After (admission control or
+// shutdown), 504 (deadline before any row).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit int) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	text := r.FormValue("q")
+	if text == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	mode, err := parseMode(r.FormValue("mode"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit, err := parseIntParam(r, "limit")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if maxLimit > 0 && (limit == 0 || limit > maxLimit) {
+		limit = maxLimit
+	}
+	maxDist, err := parseIntParam(r, "maxdist")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxTuples, err := parseIntParam(r, "maxtuples")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if tv := r.FormValue("timeout"); tv != "" {
+		d, err := time.ParseDuration(tv)
+		if err != nil || d <= 0 {
+			http.Error(w, fmt.Sprintf("invalid timeout %q", tv), http.StatusBadRequest)
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	pq, err := s.cache.Get(text, mode)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	eo := omega.ExecOptions{
+		Limit:     limit,
+		MaxDist:   int32(maxDist),
+		MaxTuples: maxTuples,
+		Pool:      s.pool,
+	}
+
+	start := time.Now()
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+
+	res, err := s.sched.Stream(ctx,
+		func(ctx context.Context) (*omega.Rows, error) { return pq.Exec(ctx, eo) },
+		func(row omega.Row) error {
+			if !wrote {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				wrote = true
+			}
+			if err := enc.Encode(rowLine{Vars: row.Vars, Labels: row.Labels, Nodes: row.Nodes, Dist: row.Dist}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+
+	elapsed := time.Since(start)
+	if err != nil {
+		s.logf("serve: query failed after %d rows in %.1fms: %v", res.Rows, float64(elapsed.Nanoseconds())/1e6, err)
+		if wrote {
+			// The status line is gone; report the failure in-band.
+			_ = enc.Encode(errorLine{Error: err.Error(), Rows: res.Rows})
+			return
+		}
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			// Retry-After has one-second granularity; round up so a
+			// sub-second hint never becomes "retry immediately".
+			secs := int(math.Ceil(s.sched.RetryAfter().Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrSchedulerClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, omega.ErrDeadline):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, omega.ErrCanceled):
+			// The client is gone; nothing useful to write.
+		case errors.Is(err, omega.ErrTupleBudget):
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	_ = enc.Encode(doneLine{Done: true, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Stats: toStatsLine(res.Stats)})
+	s.logf("serve: %d rows in %.1fms (popped=%d deferred=%d reinjected=%d phases=%d)",
+		res.Rows, float64(elapsed.Nanoseconds())/1e6,
+		res.Stats.TuplesPopped, res.Stats.Deferred, res.Stats.Reinjected, res.Stats.Phases)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+// statszPayload is the /statsz response body.
+type statszPayload struct {
+	Scheduler SchedulerStats   `json:"scheduler"`
+	PlanCache CacheStats       `json:"plan_cache"`
+	Pool      *omega.PoolStats `json:"pool,omitempty"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	payload := statszPayload{
+		Scheduler: s.sched.Stats(),
+		PlanCache: s.cache.Stats(),
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		payload.Pool = &ps
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(payload)
+}

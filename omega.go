@@ -101,6 +101,11 @@ type (
 	QueryIterator = core.QueryIterator
 	// Stats carries evaluation counters (tuples, visited size, phases).
 	Stats = core.Stats
+	// EvalPool recycles per-execution evaluator state across requests so
+	// steady-state serving allocates near zero; see NewEvalPool.
+	EvalPool = core.EvalPool
+	// PoolStats reports EvalPool effectiveness counters.
+	PoolStats = core.PoolStats
 	// PathExpr is a parsed regular path expression.
 	PathExpr = rpq.Expr
 )
@@ -156,6 +161,15 @@ var ErrClosed = core.ErrClosed
 // ModeOverride is a convenience for ExecOptions.Mode: it returns a pointer to
 // mode, overriding every conjunct's mode for one execution.
 func ModeOverride(mode Mode) *Mode { m := mode; return &m }
+
+// NewEvalPool returns an evaluator-state pool retaining at most max idle
+// state bundles (0 picks a default). Thread it through ExecOptions.Pool (or
+// engine-wide through Options.Pool) so repeated executions reuse the grown
+// dictionaries, hash tables and scratch buffers of earlier requests instead
+// of reallocating and regrowing them; pooled emission is byte-identical to
+// fresh. One pool may serve any number of prepared queries over any number
+// of graphs, from any number of goroutines.
+func NewEvalPool(max int) *EvalPool { return core.NewEvalPool(max) }
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
