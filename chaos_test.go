@@ -1,0 +1,520 @@
+package omega_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"omega"
+	"omega/internal/fault"
+	"omega/internal/serve"
+)
+
+// Chaos tests: randomized but seeded fault schedules over the study corpus,
+// at the engine level and through the full HTTP serving stack. Each schedule
+// is a probabilistic failpoint spec; the per-site RNGs are seeded, so a
+// failing (schedule, seed) pair replays exactly. The invariants checked are
+// the failure-model contract, not specific rows:
+//
+//   - every failure surfaces as a typed error (ErrSpill, fault.ErrInjected,
+//     or a recovered panic) through the sticky Rows contract;
+//   - no execution leaks spill files, whatever killed it;
+//   - pooled evaluator state is never recycled across a failure: once faults
+//     are disarmed, pooled executions are byte-identical to fresh ones;
+//   - the server keeps serving — /healthz green, /statsz parseable — across
+//     panics, disk faults and write failures.
+//
+// This file lives in package omega_test (not omega) so it can import
+// internal/serve, which itself imports omega.
+
+const chaosQuery = "(?X) <- APPROX (Librarians, type-.job-.next, ?X)"
+
+// chaosCorpus returns a small query mix: the spill-heavy APPROX query plus a
+// few corpus queries, enough shape diversity to reach every fault site.
+func chaosCorpus(tb testing.TB) []string {
+	tb.Helper()
+	texts := []string{chaosQuery}
+	for _, q := range omega.L4AllQueries()[:3] {
+		texts = append(texts, q.Text)
+	}
+	return texts
+}
+
+func chaosEngine(tb testing.TB, opts omega.Options) *omega.Engine {
+	tb.Helper()
+	g, ont, err := omega.GenerateL4All("L1")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return omega.NewEngine(g, ont).WithOptions(opts)
+}
+
+// drainChaos pulls rows until exhaustion or failure, recovering panics the
+// way a serving worker does: abort the execution so its state (pooled or
+// disk-backed) is discarded, and report the panic as the terminal error.
+func drainChaos(rows *omega.Rows, limit int) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered panic: %v", r)
+			rows.Abort(err)
+		}
+	}()
+	for limit <= 0 || n < limit {
+		_, ok, e := rows.Next()
+		if e != nil {
+			rows.Close()
+			return n, e
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	rows.Close()
+	return n, nil
+}
+
+// typedChaosError reports whether err is one of the failure model's known
+// terminal errors for an execution running under an armed fault schedule.
+func typedChaosError(err error) bool {
+	return errors.Is(err, omega.ErrSpill) ||
+		errors.Is(err, fault.ErrInjected) ||
+		strings.Contains(err.Error(), "recovered panic")
+}
+
+// mergeFired accumulates the sites that actually fired so far.
+func mergeFired(fired map[string]int64) {
+	for site, st := range fault.Stats() {
+		fired[site] += st.Fires
+	}
+}
+
+// TestChaosSpillFaults storms the disk-failure surface: spilling executions
+// (dictionary + deferred frontier) under probabilistic write/load/remove
+// faults, across several seeds. Whatever dies must die typed, and the spill
+// parent must be empty once every execution is released.
+func TestChaosSpillFaults(t *testing.T) {
+	dir := t.TempDir()
+	eng := chaosEngine(t, omega.Options{
+		DistanceAware:  true,
+		SpillThreshold: 8,
+		SpillDir:       dir,
+	})
+	queries := chaosCorpus(t)
+	schedules := []string{
+		"dstruct.spill.write=error@0.4;dstruct.deferred.write=error@0.3",
+		"dstruct.spill.load=error@0.5;dstruct.deferred.load=error@0.4",
+		"dstruct.spill.remove=error@0.6;dstruct.deferred.remove=error@0.5;dstruct.spill.write=error@0.1",
+	}
+	fired := map[string]int64{}
+	t.Cleanup(fault.Reset)
+	failures := 0
+	for _, spec := range schedules {
+		for seed := int64(1); seed <= 3; seed++ {
+			if err := fault.Configure(spec, seed); err != nil {
+				t.Fatal(err)
+			}
+			for _, text := range queries {
+				pq, err := eng.PrepareText(text)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rows, err := pq.Exec(context.Background(), omega.ExecOptions{})
+				if err != nil {
+					t.Fatalf("%s seed %d: Exec: %v", spec, seed, err)
+				}
+				if _, err := drainChaos(rows, 150); err != nil {
+					failures++
+					if !typedChaosError(err) {
+						t.Fatalf("%s seed %d %q: untyped error %v", spec, seed, text, err)
+					}
+				}
+			}
+			mergeFired(fired)
+			fault.Reset()
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no execution ever failed — the schedules are not exercising anything")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("spill dir not empty after chaos: %v", names)
+	}
+	if len(fired) < 3 {
+		t.Fatalf("only %d fault sites fired (%v), want >= 3", len(fired), fired)
+	}
+}
+
+// TestChaosPooledExecutions storms the pool-poisoning surface: pooled,
+// memory-resident executions under probabilistic evaluation errors and
+// panics. After every faulty round the faults are disarmed and each query's
+// pooled output must be byte-identical to the fresh baseline — no corrupted
+// bundle may ever reach a later request.
+func TestChaosPooledExecutions(t *testing.T) {
+	eng := chaosEngine(t, omega.Options{DistanceAware: true})
+	queries := chaosCorpus(t)
+	const limit = 150
+
+	type baseline struct {
+		pq   *omega.PreparedQuery
+		rows []omega.Row
+	}
+	baselines := make([]baseline, 0, len(queries))
+	for _, text := range queries {
+		pq, err := eng.PrepareText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pq.Exec(context.Background(), omega.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.Collect(limit)
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		baselines = append(baselines, baseline{pq: pq, rows: want})
+	}
+
+	pool := omega.NewEvalPool(8)
+	fired := map[string]int64{}
+	t.Cleanup(fault.Reset)
+	failures := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		// Alternate between error and panic rounds so both failure shapes
+		// pass through the pool.
+		spec := "core.row=error@0.03"
+		if seed%2 == 0 {
+			spec = "core.row=panic@0.02"
+		}
+		if err := fault.Configure(spec, seed); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range baselines {
+			rows, err := b.pq.Exec(context.Background(), omega.ExecOptions{Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := drainChaos(rows, limit); err != nil {
+				failures++
+				if !typedChaosError(err) {
+					t.Fatalf("seed %d: untyped error %v", seed, err)
+				}
+			}
+		}
+		mergeFired(fired)
+		fault.Reset()
+
+		// Disarmed: every pooled run must match the fresh baseline exactly.
+		for qi, b := range baselines {
+			rows, err := b.pq.Exec(context.Background(), omega.ExecOptions{Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rows.Collect(limit)
+			rows.Close()
+			if err != nil {
+				t.Fatalf("seed %d query %d: clean pooled run failed: %v", seed, qi, err)
+			}
+			if len(got) != len(b.rows) {
+				t.Fatalf("seed %d query %d: pooled %d rows, fresh %d", seed, qi, len(got), len(b.rows))
+			}
+			for i := range got {
+				if got[i].Dist != b.rows[i].Dist || got[i].Labels[0] != b.rows[i].Labels[0] {
+					t.Fatalf("seed %d query %d row %d: pooled %v, fresh %v", seed, qi, i, got[i], b.rows[i])
+				}
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no execution ever failed — the schedule is not exercising anything")
+	}
+	if s := pool.Stats(); s.Poisoned == 0 {
+		t.Fatalf("failures occurred but no bundle was poisoned: %+v", s)
+	}
+}
+
+// TestChaosServer storms the full serving stack: concurrent HTTP requests
+// against a spilling, pooled server while panics, evaluation errors, disk
+// faults and write-path failures all fire probabilistically. Individual
+// requests may fail — but only with well-formed responses; the server itself
+// must end the storm healthy, stats-serving, and with zero leftover disk
+// state after drain.
+func TestChaosServer(t *testing.T) {
+	spillDir := t.TempDir()
+	eng := chaosEngine(t, omega.Options{
+		DistanceAware:  true,
+		SpillThreshold: 8,
+		SpillDir:       spillDir,
+	})
+	srv := serve.New(serve.Config{
+		Engine:  eng,
+		Workers: 4,
+		Queue:   16,
+		Quantum: 8,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := "serve.quantum=panic@0.03;serve.write=error@0.02;dstruct.spill.write=error@0.15;core.row=error@0.01"
+	if err := fault.Configure(spec, 42); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+
+	const (
+		clients  = 6
+		requests = 8
+	)
+	q := url.Values{"q": {chaosQuery}, "limit": {"80"}}
+	target := ts.URL + "/query?" + q.Encode()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	inBandErrors := 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				resp, err := ts.Client().Get(target)
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				sawError := false
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				for sc.Scan() {
+					var probe map[string]any
+					if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+						// Non-NDJSON bodies come from http.Error on pre-stream
+						// failures; only NDJSON responses must parse per line.
+						if resp.StatusCode == http.StatusOK {
+							t.Errorf("bad NDJSON line %q", sc.Bytes())
+						}
+						break
+					}
+					if probe["error"] != nil {
+						sawError = true
+					}
+				}
+				resp.Body.Close()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if sawError {
+					inBandErrors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	mergeFired := map[string]int64{}
+	for site, st := range fault.Stats() {
+		if st.Fires > 0 {
+			mergeFired[site] = st.Fires
+		}
+	}
+	if len(mergeFired) < 3 {
+		t.Fatalf("only %d fault sites fired (%v), want >= 3", len(mergeFired), mergeFired)
+	}
+	for code := range statuses {
+		switch code {
+		case http.StatusOK, http.StatusInternalServerError,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("unexpected status %d (statuses: %v)", code, statuses)
+		}
+	}
+	fault.Reset()
+
+	// The server survived the storm: health and stats endpoints answer, and
+	// a clean query streams end to end.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %d", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statsz struct {
+		Scheduler serve.SchedulerStats `json:"scheduler"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatalf("statsz after chaos: %v", err)
+	}
+	resp.Body.Close()
+	clean, err := ts.Client().Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(clean.Body)
+	clean.Body.Close()
+	if clean.StatusCode != http.StatusOK || !strings.Contains(string(body), `"done":true`) {
+		t.Fatalf("clean query after chaos: status=%d body tail %q", clean.StatusCode, tail(string(body)))
+	}
+
+	// Drain and check for leaked disk state.
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	entries, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("spill dir not empty after drain: %v", names)
+	}
+	t.Logf("chaos summary: statuses=%v in-band errors=%d fired=%v panics=%d",
+		statuses, inBandErrors, mergeFired, statsz.Scheduler.Panics)
+}
+
+// TestEnvFailpointChaos is the CI fault-injection job's entry point: the job
+// sets OMEGA_FAILPOINTS/OMEGA_FAILPOINTS_SEED in the environment and runs only
+// this test under -race, so the test exercises the production activation path
+// (the fault package's init arming from env at process start) rather than
+// programmatic Configure. It drives the spill-heavy corpus through pooled
+// executions under whatever schedule the environment armed, requires every
+// failure to be typed, and — after disarming — requires pooled output to be
+// byte-identical to fresh and the spill parent to be empty. Skips when the
+// environment is clean, so ordinary `go test ./...` runs are unaffected.
+func TestEnvFailpointChaos(t *testing.T) {
+	spec := os.Getenv("OMEGA_FAILPOINTS")
+	if spec == "" {
+		t.Skip("OMEGA_FAILPOINTS not set (this test backs the CI fault-injection job)")
+	}
+	if !fault.Enabled() {
+		t.Fatalf("OMEGA_FAILPOINTS=%q is set but the registry was not armed at process start", spec)
+	}
+	t.Cleanup(fault.Reset)
+
+	dir := t.TempDir()
+	eng := chaosEngine(t, omega.Options{
+		DistanceAware:  true,
+		SpillThreshold: 8,
+		SpillDir:       dir,
+	})
+	pool := omega.NewEvalPool(4)
+	queries := chaosCorpus(t)
+	const (
+		limit  = 150
+		rounds = 6
+	)
+
+	failures := 0
+	for round := 0; round < rounds; round++ {
+		for _, text := range queries {
+			pq, err := eng.PrepareText(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := pq.Exec(context.Background(), omega.ExecOptions{Pool: pool})
+			if err != nil {
+				failures++
+				if !typedChaosError(err) {
+					t.Fatalf("round %d %q: untyped Exec error %v", round, text, err)
+				}
+				continue
+			}
+			if _, err := drainChaos(rows, limit); err != nil {
+				failures++
+				if !typedChaosError(err) {
+					t.Fatalf("round %d %q: untyped error %v", round, text, err)
+				}
+			}
+		}
+	}
+	fired := map[string]int64{}
+	mergeFired(fired)
+	var fires int64
+	for _, n := range fired {
+		fires += n
+	}
+	if fires == 0 {
+		t.Fatalf("env schedule %q never fired across %d rounds (stats: %v)", spec, rounds, fault.Stats())
+	}
+
+	// Disarmed: nothing the faults touched may survive. Pooled output must be
+	// byte-identical to fresh for every query, and the executions above must
+	// have released all their disk state.
+	fault.Reset()
+	for _, text := range queries {
+		pq, err := eng.PrepareText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(eo omega.ExecOptions) []omega.Row {
+			rows, err := pq.Exec(context.Background(), eo)
+			if err != nil {
+				t.Fatalf("clean run after env chaos: %q: %v", text, err)
+			}
+			got, err := rows.Collect(limit)
+			rows.Close()
+			if err != nil {
+				t.Fatalf("clean run after env chaos: %q: %v", text, err)
+			}
+			return got
+		}
+		fresh := collect(omega.ExecOptions{})
+		pooled := collect(omega.ExecOptions{Pool: pool})
+		if len(fresh) != len(pooled) {
+			t.Fatalf("%q: pooled %d rows, fresh %d after env chaos", text, len(pooled), len(fresh))
+		}
+		for i := range fresh {
+			if fresh[i].Dist != pooled[i].Dist || fresh[i].Labels[0] != pooled[i].Labels[0] {
+				t.Fatalf("%q row %d: pooled %v, fresh %v", text, i, pooled[i], fresh[i])
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("spill dir not empty after env chaos: %v", names)
+	}
+	t.Logf("env chaos: spec=%q failures=%d fired=%v", spec, failures, fired)
+}
+
+func tail(s string) string {
+	if len(s) > 200 {
+		return s[len(s)-200:]
+	}
+	return s
+}

@@ -52,6 +52,15 @@ func main() {
 		poolSize   = flag.Int("pool", 0, "evaluator-state bundles retained (0 = workers, -1 = disable pooling)")
 		maxLimit   = flag.Int("max-limit", 10000, "cap on per-request row limit (0 = none)")
 
+		stallBudget  = flag.Duration("stall-budget", time.Minute, "abort requests whose scheduling turn makes no progress for this long (0 = off)")
+		degradeAfter = flag.Int("degrade-after", 16, "admission rejections within -degrade-window that trigger degraded mode (0 = off)")
+		degradeWin   = flag.Duration("degrade-window", 10*time.Second, "sliding window for -degrade-after")
+		degradeLimit = flag.Int("degraded-limit", 1000, "row-limit clamp while degraded (0 = no clamp)")
+		degradeDist  = flag.Int("degraded-maxdist", 0, "maxdist clamp while degraded (0 = no clamp)")
+
+		janitor    = flag.Bool("janitor", true, "sweep orphaned spill directories from crashed runs at boot")
+		janitorAge = flag.Duration("janitor-age", time.Hour, "only sweep spill directories older than this (0 = all)")
+
 		distAware = flag.Bool("distance-aware", true, "enable §4.3 retrieval by distance")
 		disjunct  = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
 		rareSide  = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end")
@@ -61,6 +70,19 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the per-request log")
 	)
 	flag.Parse()
+
+	// Boot-time janitor: reclaim spill directories a crashed predecessor left
+	// under the spill parent. The age guard keeps a concurrently running
+	// server's live directories safe.
+	if *janitor {
+		n, err := serve.CleanOrphanedSpill(*spillDir, *janitorAge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omega-serve: janitor: %v\n", err)
+		}
+		if n > 0 || err != nil {
+			fmt.Fprintf(os.Stderr, "omega-serve: janitor: removed %d orphaned spill dir(s)\n", n)
+		}
+	}
 
 	g, ont, err := loadData(*data, *graphFile, *ontFile)
 	if err != nil {
@@ -81,16 +103,21 @@ func main() {
 		logger = nil
 	}
 	srv := serve.New(serve.Config{
-		Engine:        eng,
-		Workers:       *workers,
-		Queue:         *queue,
-		Quantum:       *quantum,
-		Timeout:       *timeout,
-		RetryAfter:    *retryAfter,
-		PlanCacheSize: *planCache,
-		PoolSize:      *poolSize,
-		MaxLimit:      *maxLimit,
-		Log:           logger,
+		Engine:          eng,
+		Workers:         *workers,
+		Queue:           *queue,
+		Quantum:         *quantum,
+		Timeout:         *timeout,
+		RetryAfter:      *retryAfter,
+		StallBudget:     *stallBudget,
+		DegradeAfter:    *degradeAfter,
+		DegradeWindow:   *degradeWin,
+		DegradedLimit:   *degradeLimit,
+		DegradedMaxDist: *degradeDist,
+		PlanCacheSize:   *planCache,
+		PoolSize:        *poolSize,
+		MaxLimit:        *maxLimit,
+		Log:             logger,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -222,13 +222,38 @@ func (r *Rows) ForEach(ctx context.Context, fn func(Row) error) error {
 
 // Close releases the execution's resources (spill files, deferred frontiers)
 // deterministically. It is idempotent: closing twice, or closing after
-// exhaustion, is a no-op. After Close, Next reports ErrClosed.
+// exhaustion, is a no-op. After Close, Next reports ErrClosed. A resource-
+// release failure (spill-file removal) is reported as a typed ErrSpill.
 func (r *Rows) Close() error {
 	r.closed = true
 	if r.closer == nil {
 		return nil
 	}
 	return r.closer.Close()
+}
+
+// Abort terminates the execution with err and releases its resources,
+// marking any pooled evaluator state unsafe to recycle. Serving layers call
+// it after recovering a panic that unwound through Next or a row sink: the
+// execution's internal state can no longer be trusted, so its EvalPool
+// bundle is discarded instead of recycled (a regular Close would hand the
+// possibly-corrupted bundle to the next request). After Abort, Next reports
+// err (sticky). Idempotent; Abort after Close or exhaustion is a no-op.
+func (r *Rows) Abort(err error) {
+	if err == nil {
+		err = ErrClosed
+	}
+	if r.err == nil {
+		r.err = err
+	}
+	r.closed = true
+	if a, ok := r.closer.(interface{ Abort(error) }); ok {
+		a.Abort(err)
+		return
+	}
+	if r.closer != nil {
+		_ = r.closer.Close()
+	}
 }
 
 // Stats reports the execution's evaluation counters: tuples popped, deferred

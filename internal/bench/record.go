@@ -30,6 +30,14 @@ type Record struct {
 	QPS          float64 `json:"qps,omitempty"`            // closed-loop requests per second
 	P50Ms        float64 `json:"p50_ms,omitempty"`         // closed-loop median latency
 	P99Ms        float64 `json:"p99_ms,omitempty"`         // closed-loop tail latency
+	// Failure-hardening counters (serve experiment). Zero in a clean run;
+	// non-zero when the run executed with failpoints armed (OMEGA_FAILPOINTS)
+	// or saw real failures, so a fault-injection CI job leaves its marks in
+	// the same artifact the clean job writes.
+	FaultsFired  int64 `json:"faults_fired,omitempty"`  // failpoint activations during the closed loop
+	Panics       int64 `json:"panics,omitempty"`        // panics recovered by scheduler workers
+	StallAborts  int64 `json:"stall_aborts,omitempty"`  // watchdog aborts (ErrStalled)
+	PoolPoisoned int64 `json:"pool_poisoned,omitempty"` // evaluator bundles discarded after failures
 }
 
 // Recorder accumulates Records across experiments. Safe for concurrent use.

@@ -12,6 +12,7 @@ import (
 
 	"omega"
 	"omega/internal/automaton"
+	"omega/internal/fault"
 	"omega/internal/l4all"
 	"omega/internal/query"
 	"omega/internal/serve"
@@ -88,11 +89,12 @@ func Serve(w io.Writer, cfg Config) error {
 
 		// Closed-loop serving through the scheduler: loopClients concurrent
 		// clients issuing loopReqs requests in total.
-		freshQPS, _, _, err := closedLoop(pq, nil, workers, loopClients, loopReqs, top)
+		freshQPS, _, _, _, err := closedLoop(pq, nil, workers, loopClients, loopReqs, top)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", q.ID, err)
 		}
-		pooledQPS, p50, p99, err := closedLoop(pq, pool, workers, loopClients, loopReqs, top)
+		firesBefore := totalFires()
+		pooledQPS, p50, p99, schedStats, err := closedLoop(pq, pool, workers, loopClients, loopReqs, top)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", q.ID, err)
 		}
@@ -125,6 +127,10 @@ func Serve(w io.Writer, cfg Config) error {
 				QPS:          pooledQPS,
 				P50Ms:        float64(p50.Nanoseconds()) / 1e6,
 				P99Ms:        float64(p99.Nanoseconds()) / 1e6,
+				FaultsFired:  totalFires() - firesBefore,
+				Panics:       schedStats.Panics,
+				StallAborts:  schedStats.Stalled,
+				PoolPoisoned: pool.Stats().Poisoned,
 			})
 		}
 	}
@@ -198,10 +204,21 @@ func streamOnce(pq *omega.PreparedQuery, eo omega.ExecOptions) error {
 	}
 }
 
+// totalFires sums failpoint activations across every armed site (0 when the
+// registry is off — the normal bench configuration).
+func totalFires() int64 {
+	var n int64
+	for _, st := range fault.Stats() {
+		n += st.Fires
+	}
+	return n
+}
+
 // closedLoop runs total requests through a scheduler from clients concurrent
 // goroutines, each submitting its next request as soon as the previous one
-// finishes, and reports overall QPS plus per-request latency quantiles.
-func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients, total, top int) (qps float64, p50, p99 time.Duration, err error) {
+// finishes, and reports overall QPS, per-request latency quantiles and the
+// scheduler's failure counters (panics recovered, watchdog aborts).
+func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients, total, top int) (qps float64, p50, p99 time.Duration, st serve.SchedulerStats, err error) {
 	s := serve.NewScheduler(serve.SchedulerConfig{Workers: workers, Queue: clients, Quantum: 64})
 	defer s.Close()
 
@@ -249,7 +266,7 @@ func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients,
 	close(errCh)
 	for err := range errCh {
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, serve.SchedulerStats{}, err
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -257,5 +274,5 @@ func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients,
 		i := int(q * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	return float64(total) / wall.Seconds(), quantile(0.50), quantile(0.99), nil
+	return float64(total) / wall.Seconds(), quantile(0.50), quantile(0.99), s.Stats(), nil
 }

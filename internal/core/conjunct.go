@@ -315,6 +315,8 @@ func (s swapIterator) Stats() Stats { return statsOf(s.it) }
 
 func (s swapIterator) Close() error { return closeIter(s.it) }
 
+func (s swapIterator) Abort(err error) { abortIter(s.it, err) }
+
 // sameVarIterator keeps only reflexive answers, for conjuncts of the form
 // (?X, R, ?X).
 type sameVarIterator struct{ it Iterator }
@@ -332,6 +334,8 @@ func (s sameVarIterator) Stats() Stats { return statsOf(s.it) }
 
 func (s sameVarIterator) Close() error { return closeIter(s.it) }
 
+func (s sameVarIterator) Abort(err error) { abortIter(s.it, err) }
+
 func statsOf(it Iterator) Stats {
 	if sr, ok := it.(StatsReporter); ok {
 		return sr.Stats()
@@ -346,6 +350,16 @@ func closeIter(it Iterator) error {
 		return c.Close()
 	}
 	return nil
+}
+
+// abortIter terminates an iterator with err when it supports Abort (marking
+// pooled state non-recyclable), falling back to Close otherwise.
+func abortIter(it Iterator, err error) {
+	if a, ok := it.(aborter); ok {
+		a.Abort(err)
+		return
+	}
+	_ = closeIter(it)
 }
 
 // compileConjunct builds the compile-time plan for one conjunct: expression

@@ -32,6 +32,31 @@ var ErrDeadline = fmt.Errorf("core: evaluation deadline exceeded: %w", context.D
 // ErrClosed is returned by Next on an execution whose Close has been called.
 var ErrClosed = errors.New("core: execution closed")
 
+// ErrSpill is the typed root of disk I/O failures in spilling executions
+// (re-exported from dstruct): every spill create/write/read/remove failure
+// surfaces through the sticky-error contract wrapping it.
+var ErrSpill = dstruct.ErrSpill
+
+// recyclable reports whether an execution that terminated with err left its
+// evaluator state structurally sound. Clean stop conditions — exhaustion,
+// Close, cancellation, deadline, the tuple budget — only ever stop pulling
+// from intact structures, so their bundles recycle. Everything else (spill
+// I/O failures, injected faults, panics surfaced via Abort, unknown errors)
+// may have abandoned a structure mid-mutation: the bundle is poisoned and
+// must be discarded, never returned to the pool.
+func recyclable(err error) bool {
+	return err == nil ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrTupleBudget)
+}
+
+// aborter is implemented by iterators that can be terminated with a caller-
+// supplied error while marking their pooled state unsafe to recycle (the
+// panic-isolation path of the serving layer).
+type aborter interface{ Abort(error) }
+
 // ctxErr maps a non-nil context error onto the package's typed errors.
 func ctxErr(err error) error {
 	switch {

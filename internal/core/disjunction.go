@@ -225,6 +225,20 @@ func (d *disjunction) Close() error {
 	return first
 }
 
+// Abort terminates the driver, poisoning every branch evaluator's pooled
+// state.
+func (d *disjunction) Abort(err error) {
+	d.done = true
+	if d.failed == nil {
+		d.failed = err
+	}
+	for _, ev := range d.evals {
+		if ev != nil {
+			ev.Abort(err)
+		}
+	}
+}
+
 // Stats implements StatsReporter.
 func (d *disjunction) Stats() Stats {
 	s := Stats{Phases: d.phases}
@@ -364,6 +378,14 @@ func (d *restartDisjunction) Close() error {
 		return d.cur.Close()
 	}
 	return nil
+}
+
+// Abort terminates the driver, poisoning the live evaluator's pooled state.
+func (d *restartDisjunction) Abort(err error) {
+	d.done = true
+	if d.cur != nil {
+		d.cur.Abort(err)
+	}
 }
 
 // Stats implements StatsReporter.

@@ -137,6 +137,13 @@ func (d *distanceAware) Close() error {
 	return d.cur.Close()
 }
 
+// Abort terminates the driver with a caller-supplied error, poisoning the
+// live evaluator's pooled state (see evaluator.Abort).
+func (d *distanceAware) Abort(err error) {
+	d.done = true
+	d.cur.Abort(err)
+}
+
 // restartDistanceAware is the paper's naive driver, retained behind
 // Options.DistanceRestart as the differential reference for the resumable
 // implementation above: every ψ increment builds a fresh evaluator and
@@ -207,6 +214,14 @@ func (d *restartDistanceAware) Close() error {
 		return d.cur.Close()
 	}
 	return nil
+}
+
+// Abort terminates the driver, poisoning the live phase evaluator's state.
+func (d *restartDistanceAware) Abort(err error) {
+	d.done = true
+	if d.cur != nil {
+		d.cur.Abort(err)
+	}
 }
 
 // Stats implements StatsReporter.

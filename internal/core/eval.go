@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"omega/internal/automaton"
 	"omega/internal/dstruct"
+	"omega/internal/fault"
 	"omega/internal/graph"
 )
 
@@ -70,8 +72,9 @@ type evaluator struct {
 	pruned     bool
 	seeded     bool
 	streamDone bool
-	released   bool // finish() has run; dict/deferred resources are gone
-	failed     error
+	released   bool  // finish() has run; dict/deferred resources are gone
+	failed     error // terminal evaluation error (sticky)
+	closeErr   error // resource-release failure recorded by finish()
 
 	stats Stats
 }
@@ -125,6 +128,14 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 // or — for a pooled execution — returns the state bundle to the pool for the
 // next request. Evaluation calls it when the answer stream ends or fails, and
 // Close calls it when an iterator is abandoned mid-stream; it is idempotent.
+//
+// A bundle is only recycled when the execution stopped cleanly (exhaustion,
+// Close, cancellation, deadline, tuple budget). Any other terminal error —
+// spill I/O failure, injected fault, a panic surfaced via Abort — poisons the
+// bundle: its structures may have been abandoned mid-mutation, so it is
+// discarded and the pool mints a fresh one for the next request. Resource-
+// release failures (spill-file removal) are recorded in closeErr, surfaced by
+// Close — never silently dropped.
 func (ev *evaluator) finish() {
 	if ev.released {
 		return
@@ -133,35 +144,60 @@ func (ev *evaluator) finish() {
 	if ev.state != nil {
 		st := ev.state
 		ev.state = nil
-		// The scratch and batch buffers may have grown; hand the grown
-		// capacity back with the bundle. Pointers are severed so no code path
-		// on this evaluator can touch state now owned by another execution.
-		st.scratch = ev.scratch[:0]
-		if ev.batch != nil {
-			st.batch = ev.batch
+		poisoned := !recyclable(ev.failed)
+		if !poisoned {
+			// The scratch and batch buffers may have grown; hand the grown
+			// capacity back with the bundle.
+			st.scratch = ev.scratch[:0]
+			if ev.batch != nil {
+				st.batch = ev.batch
+			}
 		}
+		// Pointers are severed so no code path on this evaluator can touch
+		// state now owned by another execution (or, when poisoned, state that
+		// must die with this one).
 		ev.dr, ev.visited, ev.answers, ev.deferred = nil, nil, nil, nil
 		ev.scratch, ev.batch, ev.stream = nil, nil, nil
-		ev.opts.Pool.put(st)
+		if poisoned {
+			ev.opts.Pool.poison()
+		} else {
+			ev.opts.Pool.put(st)
+		}
 		return
 	}
 	if ev.dr != nil {
-		_ = ev.dr.Close()
+		if err := ev.dr.Close(); err != nil && ev.closeErr == nil {
+			ev.closeErr = err
+		}
 	}
 	if ev.deferred != nil {
-		_ = ev.deferred.Close()
+		if err := ev.deferred.Close(); err != nil && ev.closeErr == nil {
+			ev.closeErr = err
+		}
 	}
 }
 
-// Close releases the evaluator's resources deterministically. Safe to call
-// more than once and safe to interleave with Next: a closed evaluator keeps
-// reporting ErrClosed (or its earlier terminal error) from Next.
+// Close releases the evaluator's resources deterministically, reporting any
+// resource-release failure (spill-file removal) as a typed ErrSpill. Safe to
+// call more than once and safe to interleave with Next: a closed evaluator
+// keeps reporting ErrClosed (or its earlier terminal error) from Next.
 func (ev *evaluator) Close() error {
 	if ev.failed == nil && !ev.released {
 		ev.failed = ErrClosed
 	}
 	ev.finish()
-	return nil
+	return ev.closeErr
+}
+
+// Abort terminates the evaluator with a caller-supplied error — the panic-
+// isolation path: after a panic unwound through Next, internal state is
+// untrustworthy, so the terminal error is recorded (making the pooled bundle
+// non-recyclable) and resources are released.
+func (ev *evaluator) Abort(err error) {
+	if ev.failed == nil || recyclable(ev.failed) {
+		ev.failed = err
+	}
+	ev.finish()
 }
 
 // checkCtx reports the typed context error once the evaluator's context is
@@ -296,6 +332,16 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 	if err := ev.checkCtx(); err != nil {
 		ev.finish()
 		return Answer{}, false, err
+	}
+	// Failpoint: one evaluation per emitted answer. An injected error takes
+	// the sticky-error path a real evaluation failure would; an injected
+	// panic unwinds through the caller to the serving layer's recover.
+	if fault.Enabled() {
+		if err := fault.Inject("core.row"); err != nil {
+			ev.failed = fmt.Errorf("core: evaluation failed: %w", err)
+			ev.finish()
+			return Answer{}, false, ev.failed
+		}
 	}
 	if !ev.seeded {
 		ev.seedInitial()

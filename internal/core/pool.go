@@ -45,6 +45,10 @@ type PoolStats struct {
 	// were dropped because the free list was at capacity.
 	Puts      int64 `json:"puts"`
 	Discarded int64 `json:"discarded"`
+	// Poisoned counts states discarded because their execution terminated in
+	// an error or panic: such a bundle may hold structures abandoned
+	// mid-mutation, so it is never recycled (see evaluator.finish).
+	Poisoned int64 `json:"poisoned"`
 	// Idle is the current free-list population.
 	Idle int `json:"idle"`
 }
@@ -118,6 +122,16 @@ func (p *EvalPool) get(noFinalFirst bool, visHint, ansHint int) *evalState {
 	st.answers.Reset(ansHint)
 	st.deferred.Reset(noFinalFirst)
 	return st
+}
+
+// poison records the discard of a bundle whose execution failed. The bundle
+// itself is simply dropped for the GC — a poisoned bundle must never re-enter
+// circulation, because a panic or I/O failure may have abandoned its
+// structures mid-mutation in a state Reset cannot be trusted to repair.
+func (p *EvalPool) poison() {
+	p.mu.Lock()
+	p.stats.Poisoned++
+	p.mu.Unlock()
 }
 
 // put returns a state bundle to the free list, dropping it when the list is

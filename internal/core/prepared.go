@@ -321,6 +321,26 @@ func (e *Execution) Close() error {
 	return e.closeErr
 }
 
+// Abort terminates the execution with a caller-supplied error and releases
+// its resources, marking any pooled evaluator state unsafe to recycle. It is
+// the recovery path for panics that unwound through Next: the evaluators'
+// internal state is untrustworthy, so instead of returning bundles to the
+// EvalPool they are discarded (PoolStats.Poisoned counts them). Subsequent
+// Next calls report err (sticky). Idempotent, and safe after Close.
+func (e *Execution) Abort(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.closed = true
+	if e.released {
+		return
+	}
+	e.released = true
+	for _, it := range e.its {
+		abortIter(it, err)
+	}
+}
+
 // Stats implements StatsReporter, delegating to the underlying iterator tree
 // (single-conjunct executions report full counters; the ranked joins do not
 // track per-conjunct stats, matching OpenQuery's historical behaviour).

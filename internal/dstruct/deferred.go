@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"omega/internal/fault"
 )
 
 // Deferred is the deferred frontier of the incremental distance-aware mode
@@ -68,7 +70,7 @@ func NewDeferredSpill(threshold int, dir string, noFinalFirst bool) (*Deferred, 
 	}
 	dir, err := os.MkdirTemp(dir, "omega-deferred-*")
 	if err != nil {
-		return nil, fmt.Errorf("dstruct: NewDeferredSpill: %w", err)
+		return nil, spillErr("NewDeferredSpill", err)
 	}
 	own := true
 	return &Deferred{
@@ -127,7 +129,10 @@ func (df *Deferred) Len() int { return df.size }
 // capacity for a pooled reuse (the counterpart of Dict.Reset). Any spilled
 // state is released like Close would — the pool only recycles in-memory
 // frontiers, but a stray spill must not leak files — and the closed flag is
-// cleared so the frontier accepts tuples again.
+// cleared so the frontier accepts tuples again. A cleanup failure is recorded
+// as the frontier's sticky error rather than silently dropped: the frontier
+// is then unusable, which is what routes the bundle holding it to the pool's
+// discard path instead of back into circulation over leaked files.
 func (df *Deferred) Reset(noFinalFirst bool) {
 	for i := range df.buckets {
 		b := &df.buckets[i]
@@ -144,12 +149,25 @@ func (df *Deferred) Reset(noFinalFirst bool) {
 	if df.onDisk != nil {
 		for k, n := range df.onDisk {
 			if n > 0 {
-				_ = os.Remove(df.path(k))
+				if err := df.removeFile(df.path(k)); err != nil {
+					df.fail(err)
+				}
 			}
 		}
 		df.onDisk = map[int64]int{}
 		df.diskKeys = nil
 	}
+}
+
+// removeFile deletes one deferred spill file, typing any failure.
+func (df *Deferred) removeFile(path string) error {
+	if err := fault.Inject(fpDeferredRemove); err != nil {
+		return spillErr("deferred remove", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return spillErr("deferred remove", err)
+	}
+	return nil
 }
 
 // Resident returns the number of parked tuples currently held in memory.
@@ -179,9 +197,13 @@ func (df *Deferred) spillColdest() {
 }
 
 func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
+	if err := fault.Inject(fpDeferredWrite); err != nil {
+		df.fail(spillErr("deferred write", err))
+		return false
+	}
 	f, err := os.OpenFile(df.path(k), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
-		df.fail(fmt.Errorf("dstruct: deferred spill: %w", err))
+		df.fail(spillErr("deferred open", err))
 		return false
 	}
 	buf := make([]byte, tupleBytes*len(*list))
@@ -190,11 +212,11 @@ func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		df.fail(fmt.Errorf("dstruct: deferred spill: %w", err))
+		df.fail(spillErr("deferred write", err))
 		return false
 	}
 	if err := f.Close(); err != nil {
-		df.fail(fmt.Errorf("dstruct: deferred spill: %w", err))
+		df.fail(spillErr("deferred close", err))
 		return false
 	}
 	if df.onDisk[k] == 0 {
@@ -211,9 +233,13 @@ func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
 // so file order is oldest first) and removes its file. The resident remnant
 // of the same sub-list is newer and is re-appended after the disk content.
 func (df *Deferred) loadList(k int64, resident []Tuple) []Tuple {
+	if err := fault.Inject(fpDeferredLoad); err != nil {
+		df.fail(spillErr("deferred load", err))
+		return resident
+	}
 	data, err := os.ReadFile(df.path(k))
 	if err != nil {
-		df.fail(fmt.Errorf("dstruct: deferred load: %w", err))
+		df.fail(spillErr("deferred load", err))
 		return resident
 	}
 	n := len(data) / tupleBytes
@@ -230,8 +256,8 @@ func (df *Deferred) loadList(k int64, resident []Tuple) []Tuple {
 			break
 		}
 	}
-	if err := os.Remove(df.path(k)); err != nil {
-		df.fail(fmt.Errorf("dstruct: deferred load: %w", err))
+	if err := df.removeFile(df.path(k)); err != nil {
+		df.fail(err)
 	}
 	return list
 }
@@ -351,13 +377,15 @@ func (df *Deferred) drainOverflow(psi int32, emit func(Tuple)) {
 
 // Close removes any spill files (and the spill directory if this frontier
 // created it). A frontier without spilling has nothing to release. Close is
-// idempotent; after it, Add is a no-op.
+// idempotent; after it, Add is a no-op. A removal failure is reported as a
+// typed ErrSpill — never silently dropped — and the remaining cleanup is
+// still attempted.
 func (df *Deferred) Close() error {
 	df.closed = true
 	var first error
 	for k, n := range df.onDisk {
 		if n > 0 {
-			if err := os.Remove(df.path(k)); err != nil && first == nil {
+			if err := df.removeFile(df.path(k)); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -367,8 +395,10 @@ func (df *Deferred) Close() error {
 	}
 	df.diskKeys = nil
 	if df.ownDir {
-		if err := os.Remove(df.dir); err != nil && first == nil {
-			first = err
+		// RemoveAll, not Remove: a file whose removal failed above must not
+		// wedge the directory forever when the transient condition clears.
+		if err := os.RemoveAll(df.dir); err != nil && first == nil {
+			first = spillErr("deferred remove", err)
 		}
 		df.ownDir = false
 	}

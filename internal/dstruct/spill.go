@@ -3,11 +3,42 @@ package dstruct
 import (
 	"container/heap"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"omega/internal/fault"
 	"omega/internal/graph"
+)
+
+// ErrSpill is the root of every disk I/O failure in the spilling structures
+// (SpillDict and the disk-backed Deferred frontier): create, write, close,
+// read and remove failures are all wrapped so they satisfy
+// errors.Is(err, ErrSpill). The error travels the Rows sticky-error contract
+// — evaluation stops, the execution's resources (including the spill
+// directory) are released, and a pooled evaluator bundle is discarded rather
+// than recycled. An ErrSpill is not retryable on the same execution; a fresh
+// execution may succeed once the underlying disk condition clears.
+var ErrSpill = errors.New("dstruct: spill I/O failure")
+
+// spillErr types an I/O failure: the result wraps both ErrSpill and the
+// underlying error, and names the operation that failed.
+func spillErr(op string, err error) error {
+	return fmt.Errorf("%w: %s: %w", ErrSpill, op, err)
+}
+
+// Failpoint sites of the spill layer (see internal/fault). Each is evaluated
+// immediately before the real I/O operation it shadows; an injected error
+// replaces the operation's outcome, so the recovery path under test is
+// exactly the one a real disk failure would take.
+const (
+	fpSpillWrite     = "dstruct.spill.write"
+	fpSpillLoad      = "dstruct.spill.load"
+	fpSpillRemove    = "dstruct.spill.remove"
+	fpDeferredWrite  = "dstruct.deferred.write"
+	fpDeferredLoad   = "dstruct.deferred.load"
+	fpDeferredRemove = "dstruct.deferred.remove"
 )
 
 // TupleDict is the D_R access surface shared by the in-memory Dict and the
@@ -99,7 +130,7 @@ func NewSpillDict(threshold int, dir string, noFinalFirst bool) (*SpillDict, err
 	}
 	dir, err := os.MkdirTemp(dir, "omega-spill-*")
 	if err != nil {
-		return nil, fmt.Errorf("dstruct: NewSpillDict: %w", err)
+		return nil, spillErr("NewSpillDict", err)
 	}
 	own := true
 	mem := NewDict()
@@ -187,9 +218,12 @@ func (sd *SpillDict) takeMaxBucket(minK int64) (int64, []Tuple) {
 }
 
 func (sd *SpillDict) spillBucket(k int64, list []Tuple) error {
+	if err := fault.Inject(fpSpillWrite); err != nil {
+		return spillErr("spill write", err)
+	}
 	f, err := os.OpenFile(sd.path(k), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
-		return fmt.Errorf("dstruct: spill: %w", err)
+		return spillErr("spill open", err)
 	}
 	buf := make([]byte, tupleBytes*len(list))
 	for i, t := range list {
@@ -197,10 +231,10 @@ func (sd *SpillDict) spillBucket(k int64, list []Tuple) error {
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		return fmt.Errorf("dstruct: spill: %w", err)
+		return spillErr("spill write", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("dstruct: spill: %w", err)
+		return spillErr("spill close", err)
 	}
 	if sd.onDisk[k] == 0 {
 		heap.Push(&sd.diskKeys, k)
@@ -216,9 +250,12 @@ func (sd *SpillDict) spillBucket(k int64, list []Tuple) error {
 // empty, so file order (oldest first) reconstructs the LIFO stack exactly.
 func (sd *SpillDict) load(k int64) error {
 	path := sd.path(k)
+	if err := fault.Inject(fpSpillLoad); err != nil {
+		return spillErr("spill load", err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("dstruct: load: %w", err)
+		return spillErr("spill load", err)
 	}
 	n := len(data) / tupleBytes
 	for i := 0; i < n; i++ {
@@ -227,8 +264,19 @@ func (sd *SpillDict) load(k int64) error {
 	sd.spilled -= sd.onDisk[k]
 	delete(sd.onDisk, k)
 	heap.Pop(&sd.diskKeys) // k is the minimum by construction
+	if err := sd.removeFile(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// removeFile deletes one spill file, typing any failure.
+func (sd *SpillDict) removeFile(path string) error {
+	if err := fault.Inject(fpSpillRemove); err != nil {
+		return spillErr("spill remove", err)
+	}
 	if err := os.Remove(path); err != nil {
-		return fmt.Errorf("dstruct: load: %w", err)
+		return spillErr("spill remove", err)
 	}
 	return nil
 }
@@ -297,13 +345,16 @@ func (sd *SpillDict) MinDistance() (int32, bool) {
 }
 
 // Close removes all spill files (and the spill directory if this dictionary
-// created it). Close is idempotent; after it, Add and Remove are no-ops.
+// created it). Close is idempotent; after it, Add and Remove are no-ops. A
+// removal failure is reported as a typed ErrSpill — never silently dropped —
+// and the remaining cleanup is still attempted (an orphaned directory is
+// reclaimed by the serving janitor at the next boot).
 func (sd *SpillDict) Close() error {
 	sd.closed = true
 	var first error
 	for k, n := range sd.onDisk {
 		if n > 0 {
-			if err := os.Remove(sd.path(k)); err != nil && first == nil {
+			if err := sd.removeFile(sd.path(k)); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -312,8 +363,10 @@ func (sd *SpillDict) Close() error {
 	sd.diskKeys = nil
 	sd.spilled = 0
 	if sd.ownDir {
-		if err := os.Remove(sd.dir); err != nil && first == nil {
-			first = err
+		// RemoveAll, not Remove: a file whose removal failed above must not
+		// wedge the directory forever when the transient condition clears.
+		if err := os.RemoveAll(sd.dir); err != nil && first == nil {
+			first = spillErr("spill remove", err)
 		}
 		sd.ownDir = false
 	}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("registry armed with no configuration")
+	}
+	if err := Inject("nope"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	defer Reset()
+	if err := Configure("a.b=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "a.b" {
+		t.Fatalf("want *InjectedError{a.b}, got %#v", err)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestFireLimit(t *testing.T) {
+	defer Reset()
+	if err := Configure("s=error#2", 1); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Inject("s") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	st := Stats()["s"]
+	if st.Hits != 5 || st.Fires != 2 {
+		t.Fatalf("stats = %+v, want hits 5 fires 2", st)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		if err := Configure("p=error@0.5", 7); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not reproducible at %d", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Fatalf("p=0.5 schedule degenerate: some=%v all=%v", some, all)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	if err := Configure("boom=panic#1", 1); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			pe, ok := r.(*PanicError)
+			if !ok || pe.Site != "boom" {
+				t.Fatalf("recovered %#v, want *PanicError{boom}", r)
+			}
+		}()
+		_ = Inject("boom")
+		t.Fatal("no panic")
+	}()
+	// #1: the second evaluation must not fire.
+	if err := Inject("boom"); err != nil {
+		t.Fatalf("second evaluation fired: %v", err)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Reset()
+	if err := Configure("slow=delay:20ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"noeq", "a=", "a=weird", "a=error@2", "a=error#0", "a=delay:xyz"} {
+		if err := Configure(spec, 1); err == nil {
+			t.Errorf("Configure(%q) accepted", spec)
+		}
+	}
+	// A failed Configure must not leave stale sites armed from the attempt.
+	if err := Configure("ok=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Configure("", 1); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec left the registry armed")
+	}
+}

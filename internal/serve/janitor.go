@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// This file implements the startup janitor. Every spilling execution keeps
+// its disk state in a private directory created by os.MkdirTemp under the
+// configured spill parent — omega-spill-* for the spilling dictionary,
+// omega-deferred-* for the spilling deferred frontier — and removes it on
+// release. A process that dies uncleanly (SIGKILL, OOM, power loss) leaves
+// those directories behind, and nothing inside the process can ever reclaim
+// them. CleanOrphanedSpill is the boot-time sweep that does.
+
+// spillDirPrefixes are the MkdirTemp patterns (minus the random suffix) of
+// the per-execution spill directories; they are pinned by tests in
+// internal/dstruct so the janitor and the spillers cannot drift apart.
+var spillDirPrefixes = []string{"omega-spill-", "omega-deferred-"}
+
+// CleanOrphanedSpill removes orphaned per-execution spill directories under
+// dir (the spill parent; "" means the system temp directory) and returns how
+// many it removed. Only directories named omega-spill-* or omega-deferred-*
+// are touched — never files, never anything else living in the parent.
+//
+// minAge guards against sweeping the live state of a concurrently running
+// server sharing the same spill parent: directories younger than minAge are
+// left alone (0 removes regardless of age). Removal failures do not stop the
+// sweep; the first error is returned alongside the count removed.
+func CleanOrphanedSpill(dir string, minAge time.Duration) (int, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil // no spill parent, nothing to clean
+		}
+		return 0, err
+	}
+	cutoff := time.Now().Add(-minAge)
+	removed := 0
+	var firstErr error
+	for _, e := range entries {
+		if !e.IsDir() || !hasSpillPrefix(e.Name()) {
+			continue
+		}
+		if minAge > 0 {
+			info, err := e.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+		}
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}
+
+func hasSpillPrefix(name string) bool {
+	for _, p := range spillDirPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCleanOrphanedSpill: the janitor removes exactly the orphaned
+// per-execution spill directories — matching prefixes, directories only —
+// and leaves everything else in the shared parent untouched.
+func TestCleanOrphanedSpill(t *testing.T) {
+	dir := t.TempDir()
+	orphans := []string{"omega-spill-1234", "omega-deferred-5678"}
+	keep := []string{"omega-spillage", "unrelated"} // prefix must match exactly
+	for _, name := range append(append([]string{}, orphans...), keep...) {
+		if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A *file* with a matching name must survive: the spillers only ever
+	// create directories, so a matching file is not ours to delete.
+	if err := os.WriteFile(filepath.Join(dir, "omega-spill-file"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Orphans may still contain spill payload.
+	if err := os.WriteFile(filepath.Join(dir, orphans[0], "bucket-0"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := CleanOrphanedSpill(dir, 0)
+	if err != nil {
+		t.Fatalf("CleanOrphanedSpill: %v", err)
+	}
+	if n != len(orphans) {
+		t.Fatalf("removed %d dirs, want %d", n, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep", name)
+		}
+	}
+	for _, name := range append(keep, "omega-spill-file") {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("non-orphan %s was removed: %v", name, err)
+		}
+	}
+}
+
+// TestCleanOrphanedSpillAgeGuard: directories younger than minAge are spared
+// — they may belong to a live server sharing the spill parent.
+func TestCleanOrphanedSpillAgeGuard(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "omega-spill-fresh")
+	old := filepath.Join(dir, "omega-deferred-old")
+	for _, d := range []string{fresh, old} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := CleanOrphanedSpill(dir, 10*time.Minute)
+	if err != nil {
+		t.Fatalf("CleanOrphanedSpill: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("removed %d dirs, want 1 (the old orphan only)", n)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("fresh directory was swept despite the age guard")
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatal("old orphan survived the sweep")
+	}
+}
+
+// TestCleanOrphanedSpillMissingParent: a nonexistent spill parent is not an
+// error — there is simply nothing to clean.
+func TestCleanOrphanedSpillMissingParent(t *testing.T) {
+	n, err := CleanOrphanedSpill(filepath.Join(t.TempDir(), "nope"), 0)
+	if n != 0 || err != nil {
+		t.Fatalf("n=%d err=%v, want 0, nil", n, err)
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
 	"omega"
+	"omega/internal/fault"
 )
 
 // ErrOverloaded is reported (wrapped) when admission control rejects a
@@ -36,6 +38,31 @@ var ErrOverloaded = errors.New("serve: overloaded")
 
 // ErrSchedulerClosed is reported for requests submitted after Close.
 var ErrSchedulerClosed = errors.New("serve: scheduler closed")
+
+// ErrInternal is reported (wrapped) when a request died of a panic inside
+// evaluation or row encoding. The worker recovers the panic, aborts the
+// execution (discarding its pooled state — see omega.Rows.Abort) and keeps
+// serving; only the panicking request observes the error (HTTP 500).
+var ErrInternal = errors.New("serve: internal error")
+
+// ErrStalled is reported (wrapped) when the stuck-query watchdog aborts a
+// request whose scheduling turn made no progress for longer than the
+// configured StallBudget (HTTP 504). errors.As with *StalledError recovers
+// the budget that was exceeded.
+var ErrStalled = errors.New("serve: query stalled")
+
+// StalledError carries the watchdog context of an abort. It wraps
+// ErrStalled, so errors.Is(err, ErrStalled) holds.
+type StalledError struct {
+	// Budget is the stall budget the request exceeded.
+	Budget time.Duration
+}
+
+func (e *StalledError) Error() string {
+	return fmt.Sprintf("serve: query stalled (no progress for more than %s)", e.Budget)
+}
+
+func (e *StalledError) Unwrap() error { return ErrStalled }
 
 // OverloadedError carries the admission-control context of a rejection. It
 // wraps ErrOverloaded, so errors.Is(err, ErrOverloaded) holds.
@@ -72,6 +99,20 @@ type SchedulerConfig struct {
 	// RetryAfter is the back-off hint attached to ErrOverloaded rejections
 	// (default 1s).
 	RetryAfter time.Duration
+	// StallBudget, when positive, arms the stuck-query watchdog: a request
+	// whose current scheduling turn has made no progress (no row, no
+	// completion) for longer than the budget is aborted with ErrStalled. The
+	// budget is per turn, not per request — time spent waiting in the run
+	// queue between turns never counts, so a long queue cannot stall anyone.
+	StallBudget time.Duration
+	// DegradeAfter, when positive, arms degraded-mode detection: the
+	// scheduler reports Degraded() == true while the last DegradeAfter
+	// admission rejections all happened within DegradeWindow. The serving
+	// layer uses the flag to tighten per-request defaults under sustained
+	// overload instead of only rejecting with 503.
+	DegradeAfter int
+	// DegradeWindow is the sliding window for DegradeAfter (default 10s).
+	DegradeWindow time.Duration
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -87,6 +128,9 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.DegradeAfter > 0 && c.DegradeWindow <= 0 {
+		c.DegradeWindow = 10 * time.Second
 	}
 	return c
 }
@@ -110,9 +154,20 @@ type SchedulerStats struct {
 	Rejected  int64 `json:"rejected"`  // admission rejections (ErrOverloaded)
 	Completed int64 `json:"completed"` // requests finished without error
 	Failed    int64 `json:"failed"`    // requests finished with an error (incl. cancellation)
+	Panics    int64 `json:"panics"`    // panics recovered by workers (ErrInternal)
+	Stalled   int64 `json:"stalled"`   // requests aborted by the watchdog (ErrStalled)
 	InFlight  int   `json:"in_flight"` // admitted, not yet finished
 	Queued    int   `json:"queued"`    // admitted, waiting for a worker turn
+	Degraded  bool  `json:"degraded"`  // degraded-mode admission in effect
+	// GapP99Ms is the 99th-percentile inter-row gap (time between successive
+	// rows delivered to a sink, including queue waits between turns) over the
+	// scheduler's lifetime, in milliseconds; 0 until enough rows have flowed.
+	GapP99Ms float64 `json:"gap_p99_ms"`
 }
+
+// gapBuckets sizes the inter-row gap histogram: bucket i counts gaps below
+// 2^i microseconds, so the top bucket covers everything above ~2.2 hours.
+const gapBuckets = 34
 
 // task is one admitted request, cooperatively executed in row quanta.
 type task struct {
@@ -125,6 +180,19 @@ type task struct {
 	stats omega.Stats
 	err   error
 	done  chan struct{}
+
+	// Watchdog state. cancel aborts the execution's context with a cause;
+	// quantumStart and stalled are guarded by the scheduler mutex.
+	cancel       context.CancelCauseFunc
+	quantumStart time.Time
+	stalled      bool
+
+	// lastRow / gaps track inter-row latency. They are touched only by the
+	// worker currently running the task (the scheduler mutex orders worker
+	// hand-offs between turns); gaps is merged into the scheduler histogram
+	// at the end of every turn.
+	lastRow time.Time
+	gaps    [gapBuckets]int64
 }
 
 // Result summarises one completed request.
@@ -149,23 +217,35 @@ type Scheduler struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	ready    []*task // run queue (round-robin tail re-queue)
-	inFlight int     // admitted and not finished (queued + mid-quantum)
-	running  int     // workers currently executing a quantum
+	ready    []*task            // run queue (round-robin tail re-queue)
+	active   map[*task]struct{} // tasks currently mid-quantum (watchdog scan set)
+	rejects  []time.Time        // last cfg.DegradeAfter rejection times
+	gapHist  [gapBuckets]int64  // lifetime inter-row gap histogram
+	gapTotal int64              // total gaps recorded
+	inFlight int                // admitted and not finished (queued + mid-quantum)
+	running  int                // workers currently executing a quantum
 	closed   bool
 	stats    SchedulerStats
 
-	wg sync.WaitGroup
+	wg        sync.WaitGroup // workers
+	watchWG   sync.WaitGroup // watchdog
+	watchStop chan struct{}
+	watchOnce sync.Once
 }
 
-// NewScheduler starts a scheduler with cfg.Workers worker goroutines. Close
-// drains and stops them.
+// NewScheduler starts a scheduler with cfg.Workers worker goroutines (plus a
+// watchdog goroutine when StallBudget is set). Close drains and stops them.
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
-	s := &Scheduler{cfg: cfg.withDefaults()}
+	s := &Scheduler{cfg: cfg.withDefaults(), active: make(map[*task]struct{})}
 	s.cond = sync.NewCond(&s.mu)
+	s.watchStop = make(chan struct{})
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.cfg.StallBudget > 0 {
+		s.watchWG.Add(1)
+		go s.watchdog()
 	}
 	return s
 }
@@ -190,7 +270,13 @@ func (s *Scheduler) Stream(ctx context.Context, start func(ctx context.Context) 
 			defer cancel()
 		}
 	}
-	t := &task{ctx: ctx, start: start, onRow: onRow, done: make(chan struct{})}
+	// The cancel-cause wrapper is the watchdog's abort lever: cancelling with
+	// a cause interrupts the evaluator mid-iteration (it polls its context
+	// inside the pop loop), and the worker maps the resulting cancellation
+	// back onto ErrStalled.
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	t := &task{ctx: ctx, start: start, onRow: onRow, cancel: cancel, done: make(chan struct{})}
 
 	s.mu.Lock()
 	if s.closed {
@@ -199,6 +285,7 @@ func (s *Scheduler) Stream(ctx context.Context, start func(ctx context.Context) 
 	}
 	if s.inFlight >= s.cfg.Workers+s.cfg.queueSlots() {
 		s.stats.Rejected++
+		s.noteRejection(time.Now())
 		n := s.inFlight
 		s.mu.Unlock()
 		return Result{}, &OverloadedError{InFlight: n, RetryAfter: s.cfg.RetryAfter}
@@ -230,13 +317,29 @@ func (s *Scheduler) worker() {
 		copy(s.ready, s.ready[1:])
 		s.ready = s.ready[:len(s.ready)-1]
 		s.running++
+		t.quantumStart = time.Now()
+		s.active[t] = struct{}{}
 		s.mu.Unlock()
 
 		finished := s.runQuantum(t)
 
 		s.mu.Lock()
 		s.running--
+		delete(s.active, t)
+		for i, c := range t.gaps {
+			if c != 0 {
+				s.gapHist[i] += c
+				s.gapTotal += c
+				t.gaps[i] = 0
+			}
+		}
 		if finished {
+			// A watchdog abort surfaces from the evaluator as a context
+			// cancellation; report it as the typed stall it really is.
+			if t.stalled && t.err != nil &&
+				(errors.Is(t.err, omega.ErrCanceled) || errors.Is(t.err, omega.ErrDeadline)) {
+				t.err = &StalledError{Budget: s.cfg.StallBudget}
+			}
 			s.inFlight--
 			if t.err != nil {
 				s.stats.Failed++
@@ -257,10 +360,132 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// watchdog periodically scans the tasks currently mid-quantum and aborts any
+// whose turn has made no progress for longer than StallBudget. It keeps
+// running while Close drains, so a stuck in-flight request cannot wedge the
+// drain.
+func (s *Scheduler) watchdog() {
+	defer s.watchWG.Done()
+	interval := s.cfg.StallBudget / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for t := range s.active {
+			if !t.stalled && now.Sub(t.quantumStart) > s.cfg.StallBudget {
+				t.stalled = true
+				s.stats.Stalled++
+				t.cancel(ErrStalled)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// noteRejection records an admission rejection for degraded-mode detection.
+// Caller holds s.mu. Only the last DegradeAfter timestamps matter: the mode
+// is on while all of them fit inside DegradeWindow.
+func (s *Scheduler) noteRejection(now time.Time) {
+	if s.cfg.DegradeAfter <= 0 {
+		return
+	}
+	s.rejects = append(s.rejects, now)
+	if len(s.rejects) > s.cfg.DegradeAfter {
+		s.rejects = s.rejects[len(s.rejects)-s.cfg.DegradeAfter:]
+	}
+}
+
+// degraded reports whether degraded-mode admission is in effect. Caller
+// holds s.mu.
+func (s *Scheduler) degraded(now time.Time) bool {
+	return s.cfg.DegradeAfter > 0 &&
+		len(s.rejects) >= s.cfg.DegradeAfter &&
+		now.Sub(s.rejects[0]) <= s.cfg.DegradeWindow
+}
+
+// Degraded reports whether the scheduler has seen sustained overload (see
+// SchedulerConfig.DegradeAfter): the serving layer tightens per-request
+// defaults while it holds.
+func (s *Scheduler) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded(time.Now())
+}
+
+// recordGap buckets one inter-row gap into the task-local histogram.
+func (t *task) recordGap(now time.Time) {
+	if !t.lastRow.IsZero() {
+		us := now.Sub(t.lastRow).Microseconds()
+		idx := bits.Len64(uint64(us))
+		if idx >= gapBuckets {
+			idx = gapBuckets - 1
+		}
+		t.gaps[idx]++
+	}
+	t.lastRow = now
+}
+
+// gapP99Locked computes the 99th-percentile inter-row gap from the histogram
+// (bucket upper bounds, so the estimate rounds up). Caller holds s.mu.
+func (s *Scheduler) gapP99Locked() float64 {
+	if s.gapTotal == 0 {
+		return 0
+	}
+	// Smallest bucket whose cumulative count covers 99% of all gaps.
+	need := (s.gapTotal*99 + 99) / 100
+	var cum int64
+	for i, c := range s.gapHist {
+		cum += c
+		if cum >= need {
+			return float64(uint64(1)<<uint(i)) / 1000 // 2^i µs in ms
+		}
+	}
+	return float64(uint64(1)<<uint(gapBuckets-1)) / 1000
+}
+
 // runQuantum advances t by one scheduling turn and reports whether the
 // request finished. On every finishing path the execution's Rows has been
 // closed (and its Stats captured) before the caller observes completion.
-func (s *Scheduler) runQuantum(t *task) bool {
+//
+// A panic anywhere in the turn — evaluation, row encoding, a poisoned sink —
+// is recovered here: the request fails with a typed ErrInternal, its
+// execution is aborted (so pooled evaluator state is discarded, not
+// recycled), and the worker goes back to serving its neighbours. One bad
+// request must never take the process, the worker, or a future request's
+// pooled state with it.
+func (s *Scheduler) runQuantum(t *task) (finished bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err := fmt.Errorf("%w: recovered panic: %v", ErrInternal, r)
+		t.err = err
+		s.abortRows(t, err)
+		s.mu.Lock()
+		s.stats.Panics++
+		s.mu.Unlock()
+		finished = true
+	}()
+	if fault.Enabled() {
+		// serve.quantum is the chaos hook for worker failures: an error
+		// action simulates an internal fault, a panic action exercises the
+		// recovery path above.
+		if err := fault.Inject("serve.quantum"); err != nil {
+			t.err = fmt.Errorf("%w: %v", ErrInternal, err)
+			s.abortRows(t, t.err)
+			return true
+		}
+	}
 	if t.rows == nil {
 		// First turn: honour a cancellation that happened while queued, then
 		// start the execution. Starting lazily keeps evaluator state bounded
@@ -275,6 +500,7 @@ func (s *Scheduler) runQuantum(t *task) bool {
 			return true
 		}
 		t.rows = rows
+		t.lastRow = time.Now() // first gap = time to first row
 	}
 	for i := 0; i < s.cfg.Quantum; i++ {
 		row, ok, err := t.rows.Next()
@@ -287,6 +513,7 @@ func (s *Scheduler) runQuantum(t *task) bool {
 			s.finishRows(t)
 			return true
 		}
+		t.recordGap(time.Now())
 		if err := t.onRow(row); err != nil {
 			t.err = err
 			s.finishRows(t)
@@ -301,6 +528,19 @@ func (s *Scheduler) runQuantum(t *task) bool {
 func (s *Scheduler) finishRows(t *task) {
 	t.stats = t.rows.Stats()
 	_ = t.rows.Close()
+}
+
+// abortRows terminates t's execution after a panic or injected internal
+// fault, poisoning its pooled state. The execution is the very thing that
+// just blew up, so stats capture and abort both run under a recover of their
+// own — a second panic must not escape the worker either.
+func (s *Scheduler) abortRows(t *task, err error) {
+	if t.rows == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	t.rows.Abort(err)
+	t.stats = t.rows.Stats()
 }
 
 // mapCtxErr maps a context error onto the engine's typed errors, so a
@@ -320,6 +560,8 @@ func (s *Scheduler) Stats() SchedulerStats {
 	st := s.stats
 	st.InFlight = s.inFlight
 	st.Queued = len(s.ready)
+	st.Degraded = s.degraded(time.Now())
+	st.GapP99Ms = s.gapP99Locked()
 	return st
 }
 
@@ -328,7 +570,9 @@ func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
 // Close stops admission, drains every in-flight request to completion and
 // stops the workers. It is idempotent and safe to call concurrently with
-// Stream (late submissions report ErrSchedulerClosed).
+// Stream (late submissions report ErrSchedulerClosed). The watchdog keeps
+// running until the drain completes, so a stuck request cannot wedge Close:
+// it gets aborted with ErrStalled like any other.
 func (s *Scheduler) Close() error {
 	s.mu.Lock()
 	if !s.closed {
@@ -337,5 +581,7 @@ func (s *Scheduler) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.watchOnce.Do(func() { close(s.watchStop) })
+	s.watchWG.Wait()
 	return nil
 }

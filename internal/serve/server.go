@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"omega"
+	"omega/internal/fault"
 )
 
 // Config assembles a Server. Engine is required; everything else defaults.
@@ -28,6 +29,24 @@ type Config struct {
 	Timeout time.Duration
 	// RetryAfter is the back-off hint sent with 503 rejections (default 1s).
 	RetryAfter time.Duration
+	// StallBudget, when positive, arms the stuck-query watchdog: a request
+	// whose scheduling turn makes no progress for longer than the budget is
+	// aborted and answered with 504 (see SchedulerConfig.StallBudget).
+	StallBudget time.Duration
+	// DegradeAfter / DegradeWindow arm degraded-mode admission: when the last
+	// DegradeAfter admission rejections all fell within DegradeWindow
+	// (default 10s), new requests run with tightened defaults (DegradedLimit,
+	// DegradedMaxDist) and their done line carries "degraded": true. 0
+	// disables.
+	DegradeAfter  int
+	DegradeWindow time.Duration
+	// DegradedLimit, when positive, caps the per-request row limit while
+	// degraded mode holds (requests asking for more, or for everything, are
+	// clamped down to it).
+	DegradedLimit int
+	// DegradedMaxDist, when positive, caps the per-request maxdist while
+	// degraded mode holds.
+	DegradedMaxDist int
 	// PlanCacheSize bounds the LRU of prepared queries (default 128).
 	PlanCacheSize int
 	// PoolSize bounds the evaluator-state pool (default: Workers so the
@@ -51,12 +70,14 @@ type Config struct {
 //	GET      /healthz  — liveness
 //	GET      /statsz   — scheduler / plan-cache / pool counters as JSON
 type Server struct {
-	eng   *omega.Engine
-	cache *PlanCache
-	sched *Scheduler
-	pool  *omega.EvalPool
-	mux   *http.ServeMux
-	logf  func(format string, args ...any)
+	eng      *omega.Engine
+	cache    *PlanCache
+	sched    *Scheduler
+	pool     *omega.EvalPool
+	mux      *http.ServeMux
+	degLimit int // degraded-mode row-limit clamp (0 = no clamp)
+	degDist  int // degraded-mode maxdist clamp (0 = no clamp)
+	logf     func(format string, args ...any)
 }
 
 // New assembles a Server from cfg. Close it to drain in-flight requests.
@@ -65,17 +86,22 @@ func New(cfg Config) *Server {
 		panic("serve: Config.Engine is required")
 	}
 	sc := SchedulerConfig{
-		Workers:    cfg.Workers,
-		Queue:      cfg.Queue,
-		Quantum:    cfg.Quantum,
-		Timeout:    cfg.Timeout,
-		RetryAfter: cfg.RetryAfter,
+		Workers:       cfg.Workers,
+		Queue:         cfg.Queue,
+		Quantum:       cfg.Quantum,
+		Timeout:       cfg.Timeout,
+		RetryAfter:    cfg.RetryAfter,
+		StallBudget:   cfg.StallBudget,
+		DegradeAfter:  cfg.DegradeAfter,
+		DegradeWindow: cfg.DegradeWindow,
 	}.withDefaults()
 	s := &Server{
-		eng:   cfg.Engine,
-		cache: NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
-		sched: NewScheduler(sc),
-		logf:  func(string, ...any) {},
+		eng:      cfg.Engine,
+		cache:    NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
+		sched:    NewScheduler(sc),
+		degLimit: cfg.DegradedLimit,
+		degDist:  cfg.DegradedMaxDist,
+		logf:     func(string, ...any) {},
 	}
 	if cfg.Log != nil {
 		s.logf = cfg.Log.Printf
@@ -126,11 +152,15 @@ type rowLine struct {
 	Dist   int            `json:"dist"`
 }
 
-// doneLine terminates a successful stream.
+// doneLine terminates a successful stream. Degraded marks responses produced
+// under degraded-mode admission, whose limit/maxdist may have been clamped
+// below what the client asked for — the client can tell a short answer from
+// a complete one.
 type doneLine struct {
 	Done      bool      `json:"done"`
 	Rows      int       `json:"rows"`
 	ElapsedMs float64   `json:"elapsed_ms"`
+	Degraded  bool      `json:"degraded,omitempty"`
 	Stats     statsLine `json:"stats"`
 }
 
@@ -207,10 +237,13 @@ func parseIntParam(r *http.Request, name string) (int, error) {
 //
 // The response is application/x-ndjson: one JSON object per answer row, in
 // non-decreasing distance, flushed as produced, then a final object — either
-// {"done":true,...} with the evaluation counters or {"error":...} if the
+// {"done":true,...} with the evaluation counters (and "degraded":true when
+// degraded-mode admission clamped the request) or {"error":...} if the
 // stream failed mid-flight. Failures before the first row map to HTTP status
 // codes: 400 (bad query/parameters), 503 + Retry-After (admission control or
-// shutdown), 504 (deadline before any row).
+// shutdown), 504 (deadline or watchdog stall before any row), 500 (recovered
+// panic, disk fault, or other internal failure — the request died, the
+// server keeps serving).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit int) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
@@ -262,6 +295,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		return
 	}
 
+	// Under sustained overload the scheduler flags degraded mode and new
+	// requests run with tightened defaults: clamped row limits and distance
+	// caps keep per-request work small so the backlog drains, and the done
+	// line carries the flag so clients know their answer may be partial.
+	degraded := s.sched.Degraded()
+	if degraded {
+		if s.degLimit > 0 && (limit == 0 || limit > s.degLimit) {
+			limit = s.degLimit
+		}
+		if s.degDist > 0 && (maxDist == 0 || maxDist > s.degDist) {
+			maxDist = s.degDist
+		}
+	}
+
 	eo := omega.ExecOptions{
 		Limit:     limit,
 		MaxDist:   int32(maxDist),
@@ -277,6 +324,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	res, err := s.sched.Stream(ctx,
 		func(ctx context.Context) (*omega.Rows, error) { return pq.Exec(ctx, eo) },
 		func(row omega.Row) error {
+			if fault.Enabled() {
+				// serve.write simulates misbehaving clients: a delay action is
+				// a slow reader back-pressuring the stream, an error action a
+				// mid-stream disconnect.
+				if err := fault.Inject("serve.write"); err != nil {
+					return err
+				}
+			}
 			if !wrote {
 				w.Header().Set("Content-Type", "application/x-ndjson")
 				wrote = true
@@ -310,6 +365,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		case errors.Is(err, ErrSchedulerClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, ErrStalled):
+			// The watchdog aborted a stuck execution; like a deadline, the
+			// server gave up on the upstream work.
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		case errors.Is(err, omega.ErrDeadline):
 			http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		case errors.Is(err, omega.ErrCanceled):
@@ -317,6 +376,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		case errors.Is(err, omega.ErrTupleBudget):
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		default:
+			// ErrInternal (recovered panics), ErrSpill (disk faults) and
+			// anything unclassified: the request failed, the server did not.
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -324,7 +385,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	if !wrote {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	_ = enc.Encode(doneLine{Done: true, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Stats: toStatsLine(res.Stats)})
+	_ = enc.Encode(doneLine{Done: true, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Degraded: degraded, Stats: toStatsLine(res.Stats)})
 	s.logf("serve: %d rows in %.1fms (popped=%d deferred=%d reinjected=%d phases=%d)",
 		res.Rows, float64(elapsed.Nanoseconds())/1e6,
 		res.Stats.TuplesPopped, res.Stats.Deferred, res.Stats.Reinjected, res.Stats.Phases)

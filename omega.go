@@ -158,6 +158,14 @@ var ErrDeadline = core.ErrDeadline
 // ErrClosed is returned by Rows.Next after Rows.Close.
 var ErrClosed = core.ErrClosed
 
+// ErrSpill is the typed root of disk I/O failures in spilling executions
+// (Options.SpillThreshold > 0): create, write, read and remove failures all
+// surface through the Rows sticky-error contract wrapping it, the execution's
+// spill directory is cleaned up on release, and any pooled evaluator state is
+// discarded rather than recycled. An execution that failed with ErrSpill is
+// over; retrying means starting a fresh execution.
+var ErrSpill = core.ErrSpill
+
 // ModeOverride is a convenience for ExecOptions.Mode: it returns a pointer to
 // mode, overriding every conjunct's mode for one execution.
 func ModeOverride(mode Mode) *Mode { m := mode; return &m }
