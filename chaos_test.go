@@ -7,13 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"omega"
 	"omega/internal/fault"
@@ -88,6 +92,7 @@ func drainChaos(rows *omega.Rows, limit int) (n int, err error) {
 // terminal errors for an execution running under an armed fault schedule.
 func typedChaosError(err error) bool {
 	return errors.Is(err, omega.ErrSpill) ||
+		errors.Is(err, omega.ErrMemBudget) ||
 		errors.Is(err, fault.ErrInjected) ||
 		strings.Contains(err.Error(), "recovered panic")
 }
@@ -399,6 +404,298 @@ func TestChaosServer(t *testing.T) {
 	}
 	t.Logf("chaos summary: statuses=%v in-band errors=%d fired=%v panics=%d",
 		statuses, inBandErrors, mergeFired, statsz.Scheduler.Panics)
+}
+
+// TestChaosMemoryPressure storms the memory-governance surface: concurrent
+// pooled executions under tiny soft/hard budgets and probabilistic
+// mem.soft/mem.hard failpoints, then the full HTTP stack under a tiny
+// server-wide broker budget. The contract under pressure:
+//
+//   - every budget death is the typed omega.ErrMemBudget (soft crossings
+//     never kill — they escalate to disk and keep streaming);
+//   - once budgets are lifted and faults disarmed, pooled executions are
+//     byte-identical to fresh ones (no bundle survives an abort, no armed
+//     spill state leaks into a later request);
+//   - zero spill directories remain on disk;
+//   - the server ends the storm healthy, with the aborts visible in /statsz.
+func TestChaosMemoryPressure(t *testing.T) {
+	spillParent := t.TempDir()
+	eng := chaosEngine(t, omega.Options{
+		DistanceAware: true,
+		SpillDir:      spillParent, // escalation target; threshold stays 0 so pooling engages
+	})
+	queries := chaosCorpus(t)
+	const limit = 150
+
+	type baseline struct {
+		pq   *omega.PreparedQuery
+		rows []omega.Row
+	}
+	baselines := make([]baseline, 0, len(queries))
+	for _, text := range queries {
+		pq, err := eng.PrepareText(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pq.Exec(context.Background(), omega.ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.Collect(limit)
+		r.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		baselines = append(baselines, baseline{pq: pq, rows: want})
+	}
+
+	pool := omega.NewEvalPool(8)
+	t.Cleanup(fault.Reset)
+	budgets := []omega.ExecOptions{
+		{SoftMemBytes: 4 << 10},                         // degrade early, stream on
+		{SoftMemBytes: 4 << 10, HardMemBytes: 24 << 10}, // degrade, then maybe die
+		{HardMemBytes: 8 << 10},                         // die fast
+	}
+	var (
+		mu          sync.Mutex
+		memAborts   int
+		escalations int
+	)
+	for seed := int64(1); seed <= 3; seed++ {
+		if err := fault.Configure("mem.soft=error@0.3;mem.hard=error@0.02", seed); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, b := range baselines {
+			for bi := range budgets {
+				wg.Add(1)
+				go func(b baseline, eo omega.ExecOptions) {
+					defer wg.Done()
+					eo.Pool = pool
+					rows, err := b.pq.Exec(context.Background(), eo)
+					if err != nil {
+						t.Errorf("Exec under budget: %v", err)
+						return
+					}
+					n, err := drainChaosStats(rows, limit, &mu, &escalations)
+					if err != nil {
+						if !typedChaosError(err) {
+							t.Errorf("untyped error after %d rows: %v", n, err)
+							return
+						}
+						mu.Lock()
+						if errors.Is(err, omega.ErrMemBudget) {
+							memAborts++
+						}
+						mu.Unlock()
+					}
+				}(b, budgets[bi])
+			}
+		}
+		wg.Wait()
+		fault.Reset()
+
+		// Budgets lifted, faults disarmed: pooled output must be byte-identical
+		// to the fresh baseline — aborted bundles were discarded, surviving
+		// ones carry no armed spill state.
+		for qi, b := range baselines {
+			rows, err := b.pq.Exec(context.Background(), omega.ExecOptions{Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rows.Collect(limit)
+			rows.Close()
+			if err != nil {
+				t.Fatalf("seed %d query %d: clean pooled run failed: %v", seed, qi, err)
+			}
+			if len(got) != len(b.rows) {
+				t.Fatalf("seed %d query %d: pooled %d rows, fresh %d", seed, qi, len(got), len(b.rows))
+			}
+			for i := range got {
+				if got[i].Dist != b.rows[i].Dist || got[i].Labels[0] != b.rows[i].Labels[0] {
+					t.Fatalf("seed %d query %d row %d: pooled %v, fresh %v", seed, qi, i, got[i], b.rows[i])
+				}
+			}
+		}
+	}
+	if memAborts == 0 {
+		t.Fatal("no execution ever died of its memory budget — the storm exercised nothing")
+	}
+	if escalations == 0 {
+		t.Fatal("no execution ever escalated to disk — the soft watermark exercised nothing")
+	}
+	if entries, err := os.ReadDir(spillParent); err != nil || len(entries) != 0 {
+		t.Fatalf("spill parent not empty after storm: %v entries, err=%v", len(entries), err)
+	}
+
+	// Full HTTP stack: tiny per-request hard watermark by server default, a
+	// broker with a real budget, concurrent clients. Requests may die — only
+	// with well-formed responses and the typed status mapping.
+	httpSpill := t.TempDir()
+	srv := serve.New(serve.Config{
+		Engine: chaosEngine(t, omega.Options{
+			DistanceAware: true,
+			SpillDir:      httpSpill,
+		}),
+		Workers:          4,
+		Queue:            8,
+		Quantum:          8,
+		MemBudget:        1 << 20,
+		MemReserve:       1,
+		MemCheckInterval: 2 * time.Millisecond,
+		SoftMemBytes:     8 << 10,
+		HardMemBytes:     48 << 10,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	if err := fault.Configure("mem.soft=error@0.2;mem.hard=error@0.05;broker.reserve=error@0.05", 7); err != nil {
+		t.Fatal(err)
+	}
+	q := url.Values{"q": {chaosQuery}, "limit": {"80"}}
+	target := ts.URL + "/query?" + q.Encode()
+	var wg sync.WaitGroup
+	statuses := map[int]int{}
+	inBand := 0
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				resp, err := ts.Client().Get(target)
+				if err != nil {
+					t.Errorf("GET: %v", err)
+					return
+				}
+				sawError := false
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				for sc.Scan() {
+					var probe map[string]any
+					if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+						if resp.StatusCode == http.StatusOK {
+							t.Errorf("bad NDJSON line %q", sc.Bytes())
+						}
+						break
+					}
+					if probe["error"] != nil {
+						sawError = true
+					}
+				}
+				resp.Body.Close()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				if sawError {
+					inBand++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fault.Reset()
+	for code := range statuses {
+		switch code {
+		case http.StatusOK, http.StatusInternalServerError, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout, http.StatusInsufficientStorage:
+		default:
+			t.Fatalf("unexpected status %d (statuses: %v)", code, statuses)
+		}
+	}
+	if statuses[http.StatusInsufficientStorage]+inBand == 0 {
+		t.Fatalf("no request ever died of its memory budget (statuses: %v)", statuses)
+	}
+
+	// The server survived: health green, the aborts visible in /statsz, and a
+	// budget-free query streams end to end.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after memory storm: %d", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statsz struct {
+		MemBroker *serve.BrokerStats `json:"mem_broker"`
+		Runtime   struct {
+			HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatalf("statsz after memory storm: %v", err)
+	}
+	resp.Body.Close()
+	if statsz.MemBroker == nil || statsz.MemBroker.BudgetAborts == 0 {
+		t.Fatalf("statsz mem_broker = %+v, want budget_aborts > 0", statsz.MemBroker)
+	}
+	if statsz.Runtime.HeapAllocBytes == 0 {
+		t.Fatal("statsz runtime stats missing")
+	}
+	clean, err := ts.Client().Get(target + "&softmem=0&hardmem=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(clean.Body)
+	clean.Body.Close()
+	if clean.StatusCode != http.StatusOK || !strings.Contains(string(body), `"done":true`) {
+		t.Fatalf("clean query after memory storm: status=%d body tail %q", clean.StatusCode, tail(string(body)))
+	}
+
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	if entries, err := os.ReadDir(httpSpill); err != nil || len(entries) != 0 {
+		t.Fatalf("HTTP spill parent not empty after drain: %v entries, err=%v", len(entries), err)
+	}
+
+	// When CI pins GOMEMLIMIT, the storm must not have blown through it: the
+	// accounted budgets exist precisely to keep the process heap bounded.
+	if lim := debug.SetMemoryLimit(-1); lim != math.MaxInt64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > uint64(lim) {
+			t.Fatalf("HeapAlloc %d exceeds GOMEMLIMIT %d after memory storm", ms.HeapAlloc, lim)
+		}
+	}
+}
+
+// drainChaosStats drains rows like drainChaos, folding the execution's
+// spill-escalation count into the shared tally before release.
+func drainChaosStats(rows *omega.Rows, limit int, mu *sync.Mutex, escalations *int) (n int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered panic: %v", r)
+			rows.Abort(err)
+		}
+	}()
+	record := func() {
+		s := rows.Stats()
+		if s.SpillEscalations > 0 {
+			mu.Lock()
+			*escalations += s.SpillEscalations
+			mu.Unlock()
+		}
+	}
+	for limit <= 0 || n < limit {
+		_, ok, e := rows.Next()
+		if e != nil {
+			record()
+			rows.Close()
+			return n, e
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	record()
+	rows.Close()
+	return n, nil
 }
 
 // TestEnvFailpointChaos is the CI fault-injection job's entry point: the job

@@ -58,6 +58,12 @@ func main() {
 		degradeLimit = flag.Int("degraded-limit", 1000, "row-limit clamp while degraded (0 = no clamp)")
 		degradeDist  = flag.Int("degraded-maxdist", 0, "maxdist clamp while degraded (0 = no clamp)")
 
+		memBudget   = flag.Int64("mem-budget", 0, "server-wide accounted-bytes budget for the memory broker (0 = GOMEMLIMIT or off, -1 = off)")
+		memReserve  = flag.Int64("mem-reserve", 0, "per-request admission reservation in bytes (0 = budget / admission slots)")
+		memInterval = flag.Duration("mem-check-interval", 0, "memory-pressure monitor tick (0 = 100ms)")
+		softMem     = flag.Int64("soft-mem", 0, "default per-request soft memory watermark in bytes: degrade to disk spilling (0 = off)")
+		hardMem     = flag.Int64("hard-mem", 0, "default per-request hard memory watermark in bytes: abort with 507 (0 = off)")
+
 		janitor    = flag.Bool("janitor", true, "sweep orphaned spill directories from crashed runs at boot")
 		janitorAge = flag.Duration("janitor-age", time.Hour, "only sweep spill directories older than this (0 = all)")
 
@@ -103,21 +109,26 @@ func main() {
 		logger = nil
 	}
 	srv := serve.New(serve.Config{
-		Engine:          eng,
-		Workers:         *workers,
-		Queue:           *queue,
-		Quantum:         *quantum,
-		Timeout:         *timeout,
-		RetryAfter:      *retryAfter,
-		StallBudget:     *stallBudget,
-		DegradeAfter:    *degradeAfter,
-		DegradeWindow:   *degradeWin,
-		DegradedLimit:   *degradeLimit,
-		DegradedMaxDist: *degradeDist,
-		PlanCacheSize:   *planCache,
-		PoolSize:        *poolSize,
-		MaxLimit:        *maxLimit,
-		Log:             logger,
+		Engine:           eng,
+		Workers:          *workers,
+		Queue:            *queue,
+		Quantum:          *quantum,
+		Timeout:          *timeout,
+		RetryAfter:       *retryAfter,
+		StallBudget:      *stallBudget,
+		DegradeAfter:     *degradeAfter,
+		DegradeWindow:    *degradeWin,
+		DegradedLimit:    *degradeLimit,
+		DegradedMaxDist:  *degradeDist,
+		PlanCacheSize:    *planCache,
+		PoolSize:         *poolSize,
+		MaxLimit:         *maxLimit,
+		MemBudget:        *memBudget,
+		MemReserve:       *memReserve,
+		MemCheckInterval: *memInterval,
+		SoftMemBytes:     *softMem,
+		HardMemBytes:     *hardMem,
+		Log:              logger,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

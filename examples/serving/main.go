@@ -7,7 +7,9 @@
 //     plan-cache hit counter climb in /statsz while latency drops);
 //  2. graceful overload handling — when the admission queue is full the
 //     server answers 503 with a Retry-After hint instead of queueing without
-//     bound, and a client that backs off and retries completes its work.
+//     bound, and a client that honours the hint with jittered exponential
+//     backoff (capped attempts, so it never hammers forever) completes its
+//     work.
 //
 // The example starts an in-process server on a loopback port, so it runs
 // self-contained:
@@ -19,6 +21,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
@@ -66,16 +69,23 @@ func main() {
 	}
 
 	// 2. Overload: five concurrent clients against one worker and no queue.
-	// Rejected clients honour Retry-After and retry until they get through.
+	// Rejected clients back off exponentially with jitter — Retry-After is
+	// the floor of the first delay, each further rejection doubles it, and a
+	// random ±25% spread keeps the herd from re-stampeding in lockstep. A
+	// client that exhausts its attempt budget gives up instead of hammering
+	// an overloaded server forever.
 	fmt.Println("\noverload handling (5 clients, 1 worker, no queue):")
 	var mu sync.Mutex
 	retries := map[int]int{}
+	gaveUp := 0
 	var wg sync.WaitGroup
 	for c := 0; c < 5; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			for {
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			const maxAttempts = 10
+			for attempt := 0; attempt < maxAttempts; attempt++ {
 				// No row limit: each request streams the full answer set, so
 				// concurrent clients genuinely contend for the single worker.
 				status, retryAfter := tryQuery(base, queryText, 0)
@@ -89,8 +99,19 @@ func main() {
 				mu.Lock()
 				retries[c]++
 				mu.Unlock()
-				time.Sleep(retryAfter) // the server's back-off hint
+				// Exponential backoff on the server's hint, jittered ±25%,
+				// capped so a long Retry-After cannot compound into minutes.
+				delay := retryAfter << attempt
+				if max := 2 * time.Second; delay > max {
+					delay = max
+				}
+				jitter := time.Duration(rng.Int63n(int64(delay)/2+1)) - delay/4
+				time.Sleep(delay + jitter)
 			}
+			mu.Lock()
+			gaveUp++
+			mu.Unlock()
+			fmt.Printf("  client %d: gave up after %d attempts\n", c, maxAttempts)
 		}(c)
 	}
 	wg.Wait()
@@ -100,7 +121,7 @@ func main() {
 		total += n
 	}
 	mu.Unlock()
-	fmt.Printf("  all 5 clients completed; %d request(s) were rejected with 503 + Retry-After and retried\n", total)
+	fmt.Printf("  %d of 5 clients completed; %d request(s) were rejected with 503 + Retry-After and retried with backoff\n", 5-gaveUp, total)
 
 	httpSrv.Close()
 	if err := srv.Close(); err != nil {

@@ -38,6 +38,12 @@ type Record struct {
 	Panics       int64 `json:"panics,omitempty"`        // panics recovered by scheduler workers
 	StallAborts  int64 `json:"stall_aborts,omitempty"`  // watchdog aborts (ErrStalled)
 	PoolPoisoned int64 `json:"pool_poisoned,omitempty"` // evaluator bundles discarded after failures
+	// Memory-governance counters (serve experiment): the per-request peak of
+	// accounted resident bytes, executions aborted by memory budgets
+	// (omega.ErrMemBudget), and soft-watermark escalations to disk spilling.
+	PeakBytes        int64 `json:"peak_bytes,omitempty"`
+	MemAborts        int64 `json:"mem_aborts,omitempty"`
+	SpillEscalations int   `json:"spill_escalations,omitempty"`
 }
 
 // Recorder accumulates Records across experiments. Safe for concurrent use.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -89,12 +90,12 @@ func Serve(w io.Writer, cfg Config) error {
 
 		// Closed-loop serving through the scheduler: loopClients concurrent
 		// clients issuing loopReqs requests in total.
-		freshQPS, _, _, _, err := closedLoop(pq, nil, workers, loopClients, loopReqs, top)
+		freshLoop, err := closedLoop(pq, nil, workers, loopClients, loopReqs, top)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", q.ID, err)
 		}
 		firesBefore := totalFires()
-		pooledQPS, p50, p99, schedStats, err := closedLoop(pq, pool, workers, loopClients, loopReqs, top)
+		pooledLoop, err := closedLoop(pq, pool, workers, loopClients, loopReqs, top)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", q.ID, err)
 		}
@@ -102,35 +103,41 @@ func Serve(w io.Writer, cfg Config) error {
 		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.1f×\t%.1f\t%.1f\t%.0f\t%.0f\t%.2f\t%.2f\n",
 			q.ID, scale, freshAllocs, pooledAllocs, reduction,
 			freshBytes/1024, pooledBytes/1024,
-			freshQPS, pooledQPS,
-			float64(p50.Nanoseconds())/1e6, float64(p99.Nanoseconds())/1e6)
+			freshLoop.QPS, pooledLoop.QPS,
+			float64(pooledLoop.P50.Nanoseconds())/1e6, float64(pooledLoop.P99.Nanoseconds())/1e6)
 
 		if cfg.Recorder != nil {
 			cfg.Recorder.Add(Record{
-				Experiment:   cfg.Experiment,
-				Dataset:      scale.String(),
-				Query:        q.ID + "(fresh)",
-				Mode:         modeName(automaton.Approx),
-				Answers:      len(fresh),
-				AllocsPerReq: freshAllocs,
-				BytesPerReq:  freshBytes,
-				QPS:          freshQPS,
+				Experiment:       cfg.Experiment,
+				Dataset:          scale.String(),
+				Query:            q.ID + "(fresh)",
+				Mode:             modeName(automaton.Approx),
+				Answers:          len(fresh),
+				AllocsPerReq:     freshAllocs,
+				BytesPerReq:      freshBytes,
+				QPS:              freshLoop.QPS,
+				PeakBytes:        freshLoop.PeakBytes,
+				MemAborts:        freshLoop.MemAborts,
+				SpillEscalations: freshLoop.SpillEscalations,
 			})
 			cfg.Recorder.Add(Record{
-				Experiment:   cfg.Experiment,
-				Dataset:      scale.String(),
-				Query:        q.ID + "(pooled)",
-				Mode:         modeName(automaton.Approx),
-				Answers:      len(fresh),
-				AllocsPerReq: pooledAllocs,
-				BytesPerReq:  pooledBytes,
-				QPS:          pooledQPS,
-				P50Ms:        float64(p50.Nanoseconds()) / 1e6,
-				P99Ms:        float64(p99.Nanoseconds()) / 1e6,
-				FaultsFired:  totalFires() - firesBefore,
-				Panics:       schedStats.Panics,
-				StallAborts:  schedStats.Stalled,
-				PoolPoisoned: pool.Stats().Poisoned,
+				Experiment:       cfg.Experiment,
+				Dataset:          scale.String(),
+				Query:            q.ID + "(pooled)",
+				Mode:             modeName(automaton.Approx),
+				Answers:          len(fresh),
+				AllocsPerReq:     pooledAllocs,
+				BytesPerReq:      pooledBytes,
+				QPS:              pooledLoop.QPS,
+				P50Ms:            float64(pooledLoop.P50.Nanoseconds()) / 1e6,
+				P99Ms:            float64(pooledLoop.P99.Nanoseconds()) / 1e6,
+				FaultsFired:      totalFires() - firesBefore,
+				Panics:           pooledLoop.Sched.Panics,
+				StallAborts:      pooledLoop.Sched.Stalled,
+				PoolPoisoned:     pool.Stats().Poisoned,
+				PeakBytes:        pooledLoop.PeakBytes,
+				MemAborts:        pooledLoop.MemAborts,
+				SpillEscalations: pooledLoop.SpillEscalations,
 			})
 		}
 	}
@@ -214,16 +221,33 @@ func totalFires() int64 {
 	return n
 }
 
+// loopStats is what one closed-loop run reports: throughput, latency
+// quantiles, the scheduler's failure counters, and the memory-governance
+// aggregate across all requests (max accounted peak, summed spill
+// escalations, and requests aborted by a memory budget).
+type loopStats struct {
+	QPS              float64
+	P50, P99         time.Duration
+	Sched            serve.SchedulerStats
+	PeakBytes        int64
+	SpillEscalations int
+	MemAborts        int64
+}
+
 // closedLoop runs total requests through a scheduler from clients concurrent
 // goroutines, each submitting its next request as soon as the previous one
-// finishes, and reports overall QPS, per-request latency quantiles and the
-// scheduler's failure counters (panics recovered, watchdog aborts).
-func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients, total, top int) (qps float64, p50, p99 time.Duration, st serve.SchedulerStats, err error) {
+// finishes. A request aborted by a memory budget (omega.ErrMemBudget — only
+// possible when the run executes with budgets or failpoints armed) is counted
+// and the loop continues; any other failure aborts the whole run.
+func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients, total, top int) (loopStats, error) {
 	s := serve.NewScheduler(serve.SchedulerConfig{Workers: workers, Queue: clients, Quantum: 64})
 	defer s.Close()
 
 	latencies := make([]time.Duration, total)
 	var next int
+	var peakBytes int64
+	var escalations int
+	var memAborts int64
 	var mu sync.Mutex
 	take := func() int {
 		mu.Lock()
@@ -248,15 +272,24 @@ func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients,
 					return
 				}
 				reqStart := time.Now()
-				_, err := s.Stream(context.Background(),
+				res, err := s.Stream(context.Background(),
 					func(ctx context.Context) (*omega.Rows, error) {
 						return pq.Exec(ctx, omega.ExecOptions{Limit: top, Pool: pool})
 					},
 					func(omega.Row) error { return nil })
-				if err != nil {
+				if err != nil && !errors.Is(err, omega.ErrMemBudget) {
 					errCh <- err
 					return
 				}
+				mu.Lock()
+				if err != nil {
+					memAborts++
+				}
+				if res.Stats.MemPeakBytes > peakBytes {
+					peakBytes = res.Stats.MemPeakBytes
+				}
+				escalations += res.Stats.SpillEscalations
+				mu.Unlock()
 				latencies[i] = time.Since(reqStart)
 			}
 		}()
@@ -266,7 +299,7 @@ func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients,
 	close(errCh)
 	for err := range errCh {
 		if err != nil {
-			return 0, 0, 0, serve.SchedulerStats{}, err
+			return loopStats{}, err
 		}
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -274,5 +307,13 @@ func closedLoop(pq *omega.PreparedQuery, pool *omega.EvalPool, workers, clients,
 		i := int(q * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	return float64(total) / wall.Seconds(), quantile(0.50), quantile(0.99), s.Stats(), nil
+	return loopStats{
+		QPS:              float64(total) / wall.Seconds(),
+		P50:              quantile(0.50),
+		P99:              quantile(0.99),
+		Sched:            s.Stats(),
+		PeakBytes:        peakBytes,
+		SpillEscalations: escalations,
+		MemAborts:        memAborts,
+	}, nil
 }

@@ -82,6 +82,10 @@ func (s *Set) Len() int {
 	return s.n
 }
 
+// Words returns the number of 64-bit words backing the set (its resident
+// footprint is 8×Words bytes, regardless of population).
+func (s *Set) Words() int { return len(s.words) }
+
 // Clear removes all elements, retaining capacity.
 func (s *Set) Clear() {
 	for i := range s.words {

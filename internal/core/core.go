@@ -32,6 +32,16 @@ var ErrDeadline = fmt.Errorf("core: evaluation deadline exceeded: %w", context.D
 // ErrClosed is returned by Next on an execution whose Close has been called.
 var ErrClosed = errors.New("core: execution closed")
 
+// ErrMemBudget is returned when an execution's live resident bytes cross its
+// hard memory watermark (ExecOptions.HardMemBytes), or when the serving
+// layer's memory broker aborts the execution as the largest-footprint victim
+// under global pressure. Unlike the soft watermark — which degrades the
+// execution to disk and keeps it streaming — the hard watermark is a typed
+// abort through the sticky Rows contract. A pooled evaluator bundle that hit
+// it is poisoned, not recycled: the abort fires mid-traversal and the
+// structures' high-water capacity is exactly what the budget exists to shed.
+var ErrMemBudget = errors.New("core: memory budget exceeded")
+
 // ErrSpill is the typed root of disk I/O failures in spilling executions
 // (re-exported from dstruct): every spill create/write/read/remove failure
 // surfaces through the sticky-error contract wrapping it.
@@ -41,9 +51,11 @@ var ErrSpill = dstruct.ErrSpill
 // evaluator state structurally sound. Clean stop conditions — exhaustion,
 // Close, cancellation, deadline, the tuple budget — only ever stop pulling
 // from intact structures, so their bundles recycle. Everything else (spill
-// I/O failures, injected faults, panics surfaced via Abort, unknown errors)
-// may have abandoned a structure mid-mutation: the bundle is poisoned and
-// must be discarded, never returned to the pool.
+// I/O failures, injected faults, panics surfaced via Abort, unknown errors,
+// and deliberately ErrMemBudget — shedding the bundle's high-water capacity
+// is the point of the memory budget) may have abandoned a structure
+// mid-mutation or be oversized: the bundle is poisoned and must be
+// discarded, never returned to the pool.
 func recyclable(err error) bool {
 	return err == nil ||
 		errors.Is(err, ErrClosed) ||
@@ -67,6 +79,19 @@ func ctxErr(err error) error {
 	default:
 		return err
 	}
+}
+
+// ctxDoneErr maps a done context onto the package's typed errors, honouring a
+// typed cancellation cause: the serving layer's memory broker victimizes an
+// execution by canceling its context with cause ErrMemBudget, and that must
+// surface as the typed budget abort (poisoning the pooled bundle), not as a
+// generic ErrCanceled. Other causes (e.g. the scheduler watchdog's
+// ErrStalled) keep the plain mapping — their layers remap downstream.
+func ctxDoneErr(ctx context.Context) error {
+	if cause := context.Cause(ctx); errors.Is(cause, ErrMemBudget) {
+		return fmt.Errorf("%w: aborted by memory broker", ErrMemBudget)
+	}
+	return ctxErr(ctx.Err())
 }
 
 // watchable returns ctx when it can actually be canceled, nil otherwise, so
@@ -239,6 +264,12 @@ type Options struct {
 	// configurations whose state is not recyclable (SpillThreshold > 0,
 	// RefDict). ExecOptions.Pool overrides it per execution.
 	Pool *EvalPool
+
+	// mem is the per-execution memory gauge, set by Prepared.Exec from
+	// ExecOptions (never by engine-level configuration: watermarks are a
+	// per-request contract). Nil means no byte accounting — the plain
+	// OpenQuery/OpenConjunct paths pay nothing for the feature.
+	mem *MemGauge
 }
 
 func (o Options) withDefaults() Options {
@@ -298,6 +329,16 @@ type Stats struct {
 	// silently fallen back to restart-style recomputation.
 	Deferred   int
 	Reinjected int
+	// MemPeakBytes is the high-water mark of the execution's accounted
+	// resident bytes (byte accounting samples the dstruct footprints, so the
+	// figure is an estimate trailing real usage by at most one sample
+	// period). Zero when the execution ran without a memory gauge (plain
+	// OpenQuery/OpenConjunct callers).
+	MemPeakBytes int64
+	// SpillEscalations counts soft-watermark responses: each time the
+	// execution crossed SoftMemBytes and reacted by arming or tightening disk
+	// spilling on its deferred frontier or spill dictionary.
+	SpillEscalations int
 }
 
 // StatsReporter is implemented by iterators that can report Stats.

@@ -253,8 +253,12 @@ func (d *disjunction) Stats() Stats {
 		s.CacheHits += es.CacheHits
 		s.Deferred += es.Deferred
 		s.Reinjected += es.Reinjected
+		s.SpillEscalations += es.SpillEscalations
 		if es.VisitedSize > s.VisitedSize {
 			s.VisitedSize = es.VisitedSize
+		}
+		if es.MemPeakBytes > s.MemPeakBytes {
+			s.MemPeakBytes = es.MemPeakBytes
 		}
 	}
 	return s
@@ -366,8 +370,12 @@ func (d *restartDisjunction) accumulate(ev *evaluator) {
 	d.stats.TuplesPopped += s.TuplesPopped
 	d.stats.NeighborCalls += s.NeighborCalls
 	d.stats.CacheHits += s.CacheHits
+	d.stats.SpillEscalations += s.SpillEscalations
 	if s.VisitedSize > d.stats.VisitedSize {
 		d.stats.VisitedSize = s.VisitedSize
+	}
+	if s.MemPeakBytes > d.stats.MemPeakBytes {
+		d.stats.MemPeakBytes = s.MemPeakBytes
 	}
 }
 
@@ -397,8 +405,12 @@ func (d *restartDisjunction) Stats() Stats {
 		s.TuplesPopped += cs.TuplesPopped
 		s.NeighborCalls += cs.NeighborCalls
 		s.CacheHits += cs.CacheHits
+		s.SpillEscalations += cs.SpillEscalations
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
+		}
+		if cs.MemPeakBytes > s.MemPeakBytes {
+			s.MemPeakBytes = cs.MemPeakBytes
 		}
 	}
 	return s

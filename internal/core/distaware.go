@@ -202,8 +202,12 @@ func (d *restartDistanceAware) accumulate(ev *evaluator) {
 	d.stats.TuplesPopped += s.TuplesPopped
 	d.stats.NeighborCalls += s.NeighborCalls
 	d.stats.CacheHits += s.CacheHits
+	d.stats.SpillEscalations += s.SpillEscalations
 	if s.VisitedSize > d.stats.VisitedSize {
 		d.stats.VisitedSize = s.VisitedSize
+	}
+	if s.MemPeakBytes > d.stats.MemPeakBytes {
+		d.stats.MemPeakBytes = s.MemPeakBytes
 	}
 }
 
@@ -233,8 +237,12 @@ func (d *restartDistanceAware) Stats() Stats {
 		s.TuplesPopped += cs.TuplesPopped
 		s.NeighborCalls += cs.NeighborCalls
 		s.CacheHits += cs.CacheHits
+		s.SpillEscalations += cs.SpillEscalations
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
+		}
+		if cs.MemPeakBytes > s.MemPeakBytes {
+			s.MemPeakBytes = cs.MemPeakBytes
 		}
 	}
 	return s

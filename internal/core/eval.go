@@ -18,6 +18,24 @@ type seed struct {
 	cost int32
 }
 
+// memSampleEvery is the tuple-operation period of byte-accounting samples:
+// every this many adds/pops the evaluator recomputes its dstruct footprint,
+// pushes the delta into the execution's shared MemGauge and checks the
+// watermarks. Small enough that the accounted figure trails real growth by at
+// most a few bucket allocations, large enough that the O(buckets) footprint
+// walk is noise on the hot path.
+const memSampleEvery = 512
+
+// Failpoint sites of the memory governor (see internal/fault). A fired
+// mem.soft forces a spill escalation and a fired mem.hard forces a typed
+// budget abort, both regardless of the actual byte figures — the chaos suite
+// drives the degradation paths deterministically without having to tune real
+// allocations.
+const (
+	fpMemSoft = "mem.soft"
+	fpMemHard = "mem.hard"
+)
+
 // evaluator runs GetNext/Succ (§3.4) for one compiled automaton over one
 // graph. It emits answers (v, n, d) in non-decreasing d. A non-negative psi
 // caps tuple distances (the §4.3 distance-aware mode); suppressions are
@@ -75,6 +93,12 @@ type evaluator struct {
 	released   bool  // finish() has run; dict/deferred resources are gone
 	failed     error // terminal evaluation error (sticky)
 	closeErr   error // resource-release failure recorded by finish()
+
+	// Byte accounting (active only when opts.mem is set): memOps counts
+	// tuple operations since the last footprint sample, lastMem is this
+	// evaluator's contribution currently reflected in the shared gauge.
+	memOps  int
+	lastMem int64
 
 	stats Stats
 }
@@ -141,10 +165,28 @@ func (ev *evaluator) finish() {
 		return
 	}
 	ev.released = true
+	// Hand the evaluator's accounted bytes back to the execution's gauge: the
+	// structures are about to be released (or recycled into another
+	// execution's accounting), so they no longer count against this one.
+	if m := ev.opts.mem; m != nil && ev.lastMem != 0 {
+		m.add(-ev.lastMem)
+		ev.lastMem = 0
+	}
 	if ev.state != nil {
 		st := ev.state
 		ev.state = nil
 		poisoned := !recyclable(ev.failed)
+		// A soft-watermark escalation may have armed disk spilling on the
+		// pooled deferred frontier mid-run; the pool only recycles in-memory
+		// frontiers, so the spill state is released here. A cleanup failure
+		// poisons the bundle — it must not re-enter circulation over leaked
+		// files — and surfaces through Close like any release failure.
+		if derr := st.deferred.DisarmSpill(); derr != nil {
+			poisoned = true
+			if ev.closeErr == nil {
+				ev.closeErr = derr
+			}
+		}
 		if !poisoned {
 			// The scratch and batch buffers may have grown; hand the grown
 			// capacity back with the bundle.
@@ -208,11 +250,89 @@ func (ev *evaluator) checkCtx() error {
 	}
 	if err := ev.ctx.Err(); err != nil {
 		if ev.failed == nil {
-			ev.failed = ctxErr(err)
+			ev.failed = ctxDoneErr(ev.ctx)
 		}
 		return ev.failed
 	}
 	return nil
+}
+
+// sampleMem recomputes the evaluator's dstruct footprint, pushes the delta
+// into the execution's shared gauge and enforces the watermarks: over the
+// soft watermark the execution degrades to disk (spill escalation) and keeps
+// streaming; over the hard watermark it fails with the typed ErrMemBudget.
+// The mem.soft/mem.hard failpoints force either crossing deterministically.
+func (ev *evaluator) sampleMem() {
+	ev.memOps = 0
+	m := ev.opts.mem
+	if m == nil {
+		return
+	}
+	cur := ev.residentBytes()
+	if d := cur - ev.lastMem; d != 0 {
+		m.add(d)
+		ev.lastMem = cur
+	}
+	live := m.LiveBytes()
+	if fault.Enabled() {
+		if err := fault.Inject(fpMemHard); err != nil && ev.failed == nil {
+			ev.failed = fmt.Errorf("%w: %w", ErrMemBudget, err)
+			return
+		}
+		if err := fault.Inject(fpMemSoft); err != nil {
+			ev.escalate()
+			return
+		}
+	}
+	if m.hard > 0 && live > m.hard {
+		if ev.failed == nil {
+			ev.failed = fmt.Errorf("%w: %d live bytes over hard watermark %d", ErrMemBudget, live, m.hard)
+		}
+		return
+	}
+	if m.soft > 0 && live > m.soft {
+		ev.escalate()
+	}
+}
+
+// residentBytes sums the approximate resident footprint of every structure
+// this evaluator owns. Capacity-based: it measures what the process holds,
+// which is what spilling actually sheds.
+func (ev *evaluator) residentBytes() int64 {
+	n := ev.dr.Bytes() + ev.visited.Bytes() + ev.answers.Bytes()
+	if ev.deferred != nil {
+		n += ev.deferred.Bytes()
+	}
+	return n + int64(cap(ev.scratch)+cap(ev.batch))*4
+}
+
+// escalate is the soft-watermark response: arm or tighten disk spilling on
+// the structures that support it (the deferred frontier and a spilling D_R),
+// trading resident bytes for disk so the execution keeps streaming. A plain
+// in-memory D_R has no disk path — for it only the hard watermark protects.
+// Escalation I/O failures surface through the structures' sticky errors.
+func (ev *evaluator) escalate() {
+	escalated := false
+	if sd, ok := ev.dr.(*dstruct.SpillDict); ok {
+		sd.Lower()
+		escalated = true
+		if err := sd.Err(); err != nil && ev.failed == nil {
+			ev.failed = err
+		}
+	}
+	if ev.deferred != nil && ev.deferred.Len() > 0 {
+		if err := ev.deferred.Escalate(ev.opts.SpillDir); err != nil {
+			if ev.failed == nil {
+				ev.failed = err
+			}
+		} else {
+			escalated = true
+		}
+	}
+	if escalated {
+		ev.stats.SpillEscalations++
+		ev.opts.mem.escalations.Add(1)
+	}
 }
 
 // reject handles a tuple whose distance exceeds the current ψ: the pruned
@@ -224,6 +344,9 @@ func (ev *evaluator) reject(t dstruct.Tuple) {
 	if ev.deferred != nil && t.D <= ev.deferLimit {
 		ev.deferred.Add(t)
 		ev.stats.Deferred++
+		if ev.memOps++; ev.memOps >= memSampleEvery {
+			ev.sampleMem()
+		}
 	}
 }
 
@@ -243,6 +366,9 @@ func (ev *evaluator) resume(psi int32) {
 	if ev.opts.MaxTuples > 0 && ev.dr.Adds() > ev.opts.MaxTuples && ev.failed == nil {
 		ev.failed = ErrTupleBudget
 	}
+	// Re-injection adopts whole buckets without passing through add(); take a
+	// sample so a large phase step is accounted promptly.
+	ev.sampleMem()
 }
 
 // add inserts a tuple, enforcing the tuple budget.
@@ -256,6 +382,9 @@ func (ev *evaluator) add(t dstruct.Tuple) {
 	}
 	ev.dr.Add(t)
 	ev.stats.TuplesAdded++
+	if ev.memOps++; ev.memOps >= memSampleEvery {
+		ev.sampleMem()
+	}
 }
 
 // seedInitial performs the D_R initialisation of Open (§3.3).
@@ -366,6 +495,12 @@ func (ev *evaluator) Next() (Answer, bool, error) {
 			if md, ok := ev.dr.MinDistance(); !ok || md > 0 {
 				ev.refill()
 				continue
+			}
+		}
+		if ev.memOps++; ev.memOps >= memSampleEvery {
+			if ev.sampleMem(); ev.failed != nil {
+				ev.finish()
+				return Answer{}, false, ev.failed
 			}
 		}
 		t, ok := ev.dr.Remove()
@@ -484,5 +619,10 @@ func (ev *evaluator) neighboursByEdge(n graph.NodeID, tr *automaton.CTrans) []gr
 func (ev *evaluator) Stats() Stats {
 	s := ev.stats
 	s.Phases = 1
+	if m := ev.opts.mem; m != nil {
+		// The gauge is shared by every evaluator of the execution, so the
+		// peak is execution-wide; aggregation takes the max, not the sum.
+		s.MemPeakBytes = m.PeakBytes()
+	}
 	return s
 }

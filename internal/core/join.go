@@ -325,11 +325,17 @@ func aggregateStats(its []Iterator) Stats {
 		s.CacheHits += cs.CacheHits
 		s.Deferred += cs.Deferred
 		s.Reinjected += cs.Reinjected
+		s.SpillEscalations += cs.SpillEscalations
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
 		}
 		if cs.Phases > s.Phases {
 			s.Phases = cs.Phases
+		}
+		// Every evaluator of one execution reports the same shared gauge's
+		// peak, so max (not sum) is the execution-wide figure.
+		if cs.MemPeakBytes > s.MemPeakBytes {
+			s.MemPeakBytes = cs.MemPeakBytes
 		}
 	}
 	return s

@@ -34,6 +34,17 @@ type evalState struct {
 	batch    []graph.NodeID
 }
 
+// bytes returns the bundle's approximate resident footprint — the retention
+// figure the pool's byte cap compares against.
+func (st *evalState) bytes() int64 {
+	n := st.dict.Bytes() + st.visited.Bytes() + st.answers.Bytes() + st.deferred.Bytes()
+	n += int64(cap(st.scratch)+cap(st.batch)) * 4
+	if st.seen != nil {
+		n += int64(st.seen.Words()) * 8
+	}
+	return n
+}
+
 // PoolStats reports pool effectiveness counters.
 type PoolStats struct {
 	// Gets counts state acquisitions; Reuses of them were served from the
@@ -42,9 +53,14 @@ type PoolStats struct {
 	Reuses int64 `json:"reuses"`
 	Misses int64 `json:"misses"`
 	// Puts counts states returned by finished executions; Discarded of them
-	// were dropped because the free list was at capacity.
+	// were dropped instead of recycled — because the free list was at
+	// capacity, or because the bundle outgrew the pool's byte cap.
 	Puts      int64 `json:"puts"`
 	Discarded int64 `json:"discarded"`
+	// Oversized counts the subset of Discarded dropped by the byte cap: one
+	// giant query must not permanently bloat a pooled slot (see
+	// SetBundleCapBytes).
+	Oversized int64 `json:"oversized"`
 	// Poisoned counts states discarded because their execution terminated in
 	// an error or panic: such a bundle may hold structures abandoned
 	// mid-mutation, so it is never recycled (see evaluator.finish).
@@ -63,11 +79,19 @@ type PoolStats struct {
 // not recyclable: spilling dictionaries (disk-backed) and the RefDict
 // differential reference.
 type EvalPool struct {
-	mu    sync.Mutex
-	free  []*evalState
-	max   int
-	stats PoolStats
+	mu       sync.Mutex
+	free     []*evalState
+	max      int
+	capBytes int64
+	stats    PoolStats
 }
+
+// defaultBundleCapBytes bounds the footprint of a recycled bundle: a bundle
+// whose reset capacity exceeds the cap is discarded instead of pooled, so one
+// giant query cannot permanently pin its high-water memory in every slot it
+// cycles through. 64 MiB comfortably covers the largest steady-state bundles
+// of the study corpus while shedding true outliers.
+const defaultBundleCapBytes = 64 << 20
 
 // NewEvalPool returns a pool retaining at most max idle states (0 picks a
 // default of 64). Size it to the peak number of concurrently executing
@@ -77,7 +101,21 @@ func NewEvalPool(max int) *EvalPool {
 	if max <= 0 {
 		max = 64
 	}
-	return &EvalPool{max: max}
+	return &EvalPool{max: max, capBytes: defaultBundleCapBytes}
+}
+
+// SetBundleCapBytes sets the byte cap above which a returned bundle is
+// discarded rather than recycled (PoolStats.Oversized counts the discards).
+// 0 restores the default cap; negative disables the cap entirely. Call it
+// before serving traffic — the cap is read on every put, and concurrent
+// mutation is safe but makes the applied cap indeterminate per request.
+func (p *EvalPool) SetBundleCapBytes(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n == 0 {
+		n = defaultBundleCapBytes
+	}
+	p.capBytes = n
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -136,11 +174,20 @@ func (p *EvalPool) poison() {
 
 // put returns a state bundle to the free list, dropping it when the list is
 // at capacity (the bound is what keeps a traffic spike from pinning its peak
-// memory forever).
+// memory forever) or when the bundle outgrew the byte cap (the bound that
+// keeps one giant query from pinning its peak memory in a recycled slot).
 func (p *EvalPool) put(st *evalState) {
+	// Measured outside the lock: the bundle is exclusively owned until it
+	// joins the free list.
+	footprint := st.bytes()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Puts++
+	if p.capBytes > 0 && footprint > p.capBytes {
+		p.stats.Discarded++
+		p.stats.Oversized++
+		return
+	}
 	if len(p.free) >= p.max {
 		p.stats.Discarded++
 		return

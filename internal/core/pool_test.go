@@ -177,3 +177,58 @@ func TestEvalPoolBypassedForSpillAndRefDict(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalPoolOversizedBundleDiscarded pins the byte cap: a bundle whose
+// reset footprint exceeds SetBundleCapBytes must be dropped instead of
+// recycled (counted under both Discarded and Oversized), so one giant query
+// cannot permanently pin its high-water memory in a pooled slot. Lifting the
+// cap restores recycling.
+func TestEvalPoolOversizedBundleDiscarded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ont := testOnt()
+	g := randomGraph(rng, ont)
+	q := &Query{Head: []string{"X", "Y"}, Conjuncts: []Conjunct{conj("?X", "p.q", "?Y", automaton.Approx)}}
+	p, err := PrepareQuery(g, ont, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewEvalPool(4)
+	pool.SetBundleCapBytes(1) // any real bundle exceeds this
+
+	run := func() {
+		t.Helper()
+		ex, err := p.Exec(context.Background(), ExecOptions{Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainExec(t, ex, 1<<20)
+		if err := ex.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run()
+	s := pool.Stats()
+	if s.Oversized != 1 || s.Discarded != 1 {
+		t.Fatalf("Oversized = %d, Discarded = %d, want 1, 1", s.Oversized, s.Discarded)
+	}
+	if s.Idle != 0 {
+		t.Fatalf("Idle = %d after oversized discard, want 0", s.Idle)
+	}
+
+	// Nothing was retained, so the next execution allocates fresh again.
+	run()
+	if s = pool.Stats(); s.Misses != 2 {
+		t.Fatalf("Misses = %d, want 2 (oversized bundle must not be reused)", s.Misses)
+	}
+
+	// With the cap disabled the same workload's bundle is retained once more.
+	pool.SetBundleCapBytes(-1)
+	run()
+	if s = pool.Stats(); s.Idle != 1 {
+		t.Fatalf("Idle = %d after cap disabled, want 1", s.Idle)
+	}
+	if s.Oversized != 2 {
+		t.Fatalf("Oversized = %d, want 2 (only the capped puts count)", s.Oversized)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -49,6 +50,25 @@ type ExecOptions struct {
 	// Pool, when non-nil, recycles this execution's evaluator state from (and
 	// back to) the given pool, overriding Options.Pool. See EvalPool.
 	Pool *EvalPool
+	// SoftMemBytes, when positive, is the execution's soft memory watermark:
+	// once the accounted resident bytes of its evaluation structures cross
+	// it, the execution degrades to disk — arming or tightening spill
+	// thresholds on the deferred frontier and spill dictionary — and keeps
+	// streaming. Structures without a disk path (the plain in-memory D_R)
+	// are unaffected. 0 means no soft watermark.
+	SoftMemBytes int64
+	// HardMemBytes, when positive, is the hard watermark: crossing it aborts
+	// the execution with the typed ErrMemBudget through the sticky error
+	// contract, poisoning any pooled evaluator state. Accounting is sampled,
+	// so enforcement trails real growth by at most one sample period.
+	// 0 means no hard watermark.
+	HardMemBytes int64
+	// Mem, when non-nil, is an externally created gauge the execution
+	// accounts into; its watermarks take precedence over Soft/HardMemBytes.
+	// The serving layer uses this to observe per-request live bytes for the
+	// memory broker's victim selection. When nil, Exec creates a private
+	// gauge, so Stats.MemPeakBytes is always populated.
+	Mem *MemGauge
 }
 
 // planSet is one fully compiled variant of a prepared query: the (possibly
@@ -212,6 +232,11 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	if eo.Pool != nil {
 		ex.opts.Pool = eo.Pool
 	}
+	if eo.Mem != nil {
+		ex.opts.mem = eo.Mem
+	} else {
+		ex.opts.mem = NewMemGauge(eo.SoftMemBytes, eo.HardMemBytes)
+	}
 	ex.its = make([]Iterator, len(ps.plans))
 	for i, plan := range ps.plans {
 		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist)
@@ -273,8 +298,20 @@ func (e *Execution) Next() (QueryAnswer, bool, error) {
 	}
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
-			e.err = ctxErr(err)
-			e.release()
+			e.err = ctxDoneErr(e.ctx)
+			if errors.Is(e.err, ErrMemBudget) {
+				// A broker victim kill: shedding the execution's memory is the
+				// point, so pooled bundles are poisoned (abort path), never
+				// recycled with their high-water capacity.
+				if !e.released {
+					e.released = true
+					for _, it := range e.its {
+						abortIter(it, e.err)
+					}
+				}
+			} else {
+				e.release()
+			}
 			return QueryAnswer{}, false, e.err
 		}
 	}

@@ -127,12 +127,14 @@ func (df *Deferred) Len() int { return df.size }
 
 // Reset restores the frontier to its empty, usable state, retaining bucket
 // capacity for a pooled reuse (the counterpart of Dict.Reset). Any spilled
-// state is released like Close would — the pool only recycles in-memory
-// frontiers, but a stray spill must not leak files — and the closed flag is
-// cleared so the frontier accepts tuples again. A cleanup failure is recorded
-// as the frontier's sticky error rather than silently dropped: the frontier
-// is then unusable, which is what routes the bundle holding it to the pool's
-// discard path instead of back into circulation over leaked files.
+// state is released and spilling is fully disarmed — the pool only recycles
+// in-memory frontiers, but a frontier whose spill was armed mid-run by
+// Escalate must not leak files or carry a stale spill directory into its next
+// tenant — and the closed flag is cleared so the frontier accepts tuples
+// again. A cleanup failure is recorded as the frontier's sticky error rather
+// than silently dropped: the frontier is then unusable, which is what routes
+// the bundle holding it to the pool's discard path instead of back into
+// circulation over leaked files.
 func (df *Deferred) Reset(noFinalFirst bool) {
 	for i := range df.buckets {
 		b := &df.buckets[i]
@@ -146,17 +148,93 @@ func (df *Deferred) Reset(noFinalFirst bool) {
 	df.noFinalFirst = noFinalFirst
 	df.err = nil
 	df.closed = false
-	if df.onDisk != nil {
-		for k, n := range df.onDisk {
-			if n > 0 {
-				if err := df.removeFile(df.path(k)); err != nil {
-					df.fail(err)
-				}
+	if err := df.DisarmSpill(); err != nil {
+		df.fail(err)
+	}
+}
+
+// Escalate arms disk spilling on the frontier, or tightens it when already
+// armed — the soft-watermark response of the memory governor: parked tuples
+// degrade to disk so the execution keeps streaming instead of aborting. On an
+// unarmed frontier it creates a spill subdirectory under dir (the system temp
+// dir when empty) and sets the threshold to half the current resident count;
+// on an armed one it halves the threshold (floor 1). Either way the coldest
+// buckets spill immediately until the frontier is within the new threshold.
+// Any I/O failure lands in the frontier's sticky error.
+func (df *Deferred) Escalate(dir string) error {
+	if df.closed || df.err != nil {
+		return df.err
+	}
+	if df.threshold == 0 {
+		d, err := os.MkdirTemp(dir, "omega-deferred-*")
+		if err != nil {
+			df.fail(spillErr("deferred escalate", err))
+			return df.err
+		}
+		df.dir = d
+		df.ownDir = true
+		df.onDisk = map[int64]int{}
+		df.threshold = df.resident / 2
+	} else {
+		df.threshold /= 2
+	}
+	if df.threshold < 1 {
+		df.threshold = 1
+	}
+	if df.resident > df.threshold {
+		df.spillColdest()
+	}
+	return df.err
+}
+
+// DisarmSpill releases every spill file and the spill directory (when owned)
+// and returns the frontier to purely in-memory operation. Spilled tuples are
+// discarded, so this is only correct once the frontier's content no longer
+// matters — the evaluator calls it when an execution finishes, before a
+// pooled bundle is recycled. A no-op on a frontier that never armed spilling.
+// The first cleanup failure is returned (typed ErrSpill) and recorded as the
+// frontier's sticky error so a pooled bundle over leaked files is discarded.
+func (df *Deferred) DisarmSpill() error {
+	if df.threshold == 0 && df.dir == "" {
+		return nil
+	}
+	var first error
+	for k, n := range df.onDisk {
+		if n > 0 {
+			df.size -= n
+			if err := df.removeFile(df.path(k)); err != nil && first == nil {
+				first = err
 			}
 		}
-		df.onDisk = map[int64]int{}
-		df.diskKeys = nil
 	}
+	if df.size < 0 {
+		df.size = 0
+	}
+	df.onDisk = nil
+	df.diskKeys = nil
+	if df.ownDir {
+		if err := os.RemoveAll(df.dir); err != nil && first == nil {
+			first = spillErr("deferred remove", err)
+		}
+		df.ownDir = false
+	}
+	df.dir = ""
+	df.threshold = 0
+	if first != nil {
+		df.fail(first)
+	}
+	return first
+}
+
+// Bytes returns the approximate resident footprint of the frontier (spilled
+// tuples live on disk and are not counted). Capacity-based like Dict.Bytes.
+func (df *Deferred) Bytes() int64 {
+	n := int64(cap(df.buckets))*bucketMem + int64(cap(df.overflow))*tupleMem
+	for i := range df.buckets {
+		b := &df.buckets[i]
+		n += int64(cap(b.final)+cap(b.nonFinal)) * tupleMem
+	}
+	return n
 }
 
 // removeFile deletes one deferred spill file, typing any failure.

@@ -246,6 +246,48 @@ func (dd *Dict) Err() error { return nil }
 // Close implements TupleDict for the in-memory Dict.
 func (dd *Dict) Close() error { return nil }
 
+// Memory accounting (§ memory governance). Every structure reports its
+// resident footprint in bytes so the evaluator can aggregate per-execution
+// live bytes and enforce soft/hard watermarks. The figures are capacity-based
+// estimates from fixed per-entry sizes — close enough to steer spill
+// escalation and budget aborts, cheap enough to sample on the hot path.
+const (
+	tupleMem    = 20 // Tuple: 4×int32 + bool, padded
+	bucketMem   = 48 // bucket: two slice headers
+	visEntryMem = 16 // visEntry: uint64 + int32, padded
+	answerMem   = 12 // Answer: 3×int32
+)
+
+// Bytes returns the approximate resident footprint of the dictionary,
+// counting slice capacities (what the process actually holds), not live
+// tuples. Cost is O(len(buckets)); callers sample rather than call per add.
+func (dd *Dict) Bytes() int64 {
+	n := int64(cap(dd.buckets)) * bucketMem
+	for i := range dd.buckets {
+		b := &dd.buckets[i]
+		n += int64(cap(b.final)+cap(b.nonFinal)) * tupleMem
+	}
+	if dd.overflow != nil {
+		n += dd.overflow.Bytes()
+	}
+	return n
+}
+
+// Bytes returns the approximate resident footprint of the visited table.
+func (vs *Visited) Bytes() int64 {
+	return int64(len(vs.entries)) * visEntryMem
+}
+
+// Bytes returns the approximate resident footprint of the set.
+func (s *U64Set) Bytes() int64 {
+	return int64(len(s.entries)) * 8
+}
+
+// Bytes returns the approximate resident footprint of the registry.
+func (a *Answers) Bytes() int64 {
+	return a.pairs.Bytes() + int64(cap(a.order))*answerMem
+}
+
 // Visited is the hashed set of processed (v, n, s) triples (visited_R). It
 // is an open-addressed, linear-probed table over the packed (v, n) word and
 // the state; states must be non-negative (s+1 is the occupancy marker).

@@ -104,6 +104,13 @@ func (dd *RefDict) minKey() (int64, bool) {
 // Err implements TupleDict.
 func (dd *RefDict) Err() error { return nil }
 
+// Bytes returns the approximate resident footprint. Live tuples plus map and
+// heap bookkeeping — the reference dictionary tracks no slice capacities, so
+// the estimate is population-based rather than capacity-based.
+func (dd *RefDict) Bytes() int64 {
+	return int64(dd.size)*tupleMem + int64(len(dd.lists))*48 + int64(cap(dd.keys))*8
+}
+
 // Close implements TupleDict.
 func (dd *RefDict) Close() error { return nil }
 

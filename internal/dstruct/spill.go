@@ -58,6 +58,10 @@ type TupleDict interface {
 	Inject(df *Deferred, psi int32) int
 	// Err returns the first I/O error encountered (always nil for Dict).
 	Err() error
+	// Bytes returns the approximate resident footprint in bytes (spilled
+	// tuples live on disk and are not counted). Capacity-based; see
+	// Dict.Bytes for the accounting model.
+	Bytes() int64
 	// Close releases any on-disk resources (no-op for Dict).
 	Close() error
 }
@@ -324,6 +328,28 @@ func (sd *SpillDict) Spills() int { return sd.spills }
 
 // Resident returns the number of tuples currently held in memory.
 func (sd *SpillDict) Resident() int { return sd.mem.Len() }
+
+// Bytes returns the approximate resident footprint: the in-memory dictionary
+// plus the disk bookkeeping. Spilled tuples are on disk and not counted.
+func (sd *SpillDict) Bytes() int64 {
+	return sd.mem.Bytes() + int64(len(sd.onDisk))*48 + int64(cap(sd.diskKeys))*8
+}
+
+// Lower halves the resident threshold (floor 1) and spills down to it — the
+// soft-watermark escalation of the memory governor: an execution over its
+// soft budget trades more of its frontier to disk and keeps streaming.
+func (sd *SpillDict) Lower() {
+	if sd.err != nil || sd.closed {
+		return
+	}
+	sd.threshold /= 2
+	if sd.threshold < 1 {
+		sd.threshold = 1
+	}
+	if sd.mem.Len() > sd.threshold {
+		sd.spillColdest()
+	}
+}
 
 // MinDistance returns the smallest distance present, if any.
 func (sd *SpillDict) MinDistance() (int32, bool) {

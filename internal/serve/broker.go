@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"omega"
+	"omega/internal/fault"
+)
+
+// This file implements the server-wide memory broker: the admission-time
+// counterpart of the per-execution watermarks (omega.ExecOptions.SoftMemBytes
+// / HardMemBytes). Per-request budgets bound each execution in isolation, but
+// a server runs many at once — the broker bounds their sum. It works in two
+// tiers:
+//
+//   - Reservation: every admitted query reserves a fixed slice of the global
+//     budget before it starts. When the reservations are exhausted the
+//     request is rejected with ErrOverloaded + Retry-After, exactly like a
+//     scheduler-queue rejection — backing off is the right client response
+//     to both.
+//   - Victim selection: reservations are estimates, and accounted live bytes
+//     can outgrow them. A monitor goroutine samples the per-execution
+//     MemGauges; when their sum stays over budget for consecutive ticks, the
+//     largest-footprint execution is aborted with omega.ErrMemBudget (HTTP
+//     507). Killing the largest victim frees the most bytes per abort, so
+//     small well-behaved queries keep streaming through the pressure.
+
+// defaultMemCheckInterval paces the victim-selection monitor. Two consecutive
+// over-budget ticks are required before a kill, so the worst-case reaction
+// time is ~3 intervals.
+const defaultMemCheckInterval = 100 * time.Millisecond
+
+// fpBrokerReserve is the failpoint at admission reservation: an error action
+// simulates budget exhaustion, rejecting the request as overloaded.
+const fpBrokerReserve = "broker.reserve"
+
+// BrokerStats is a snapshot of the memory broker's counters (the /statsz
+// "mem_broker" section).
+type BrokerStats struct {
+	// BudgetBytes is the global accounted-bytes budget; ReserveBytes the
+	// per-request admission reservation carved from it.
+	BudgetBytes  int64 `json:"budget_bytes"`
+	ReserveBytes int64 `json:"reserve_bytes"`
+	// ReservedBytes is the sum of reservations currently held; LiveBytes the
+	// sum of accounted live bytes across running executions at the last
+	// monitor tick, and PeakLiveBytes its lifetime maximum.
+	ReservedBytes int64 `json:"reserved_bytes"`
+	LiveBytes     int64 `json:"live_bytes"`
+	PeakLiveBytes int64 `json:"peak_live_bytes"`
+	// Admitted counts granted reservations; ReserveRejects counts requests
+	// turned away because the budget was fully reserved.
+	Admitted       int64 `json:"admitted"`
+	ReserveRejects int64 `json:"reserve_rejects"`
+	// VictimKills counts executions aborted by the pressure monitor;
+	// BudgetAborts counts every request that failed with omega.ErrMemBudget
+	// (victim kills plus per-request hard-watermark crossings).
+	VictimKills  int64 `json:"victim_kills"`
+	BudgetAborts int64 `json:"budget_aborts"`
+	// InFlight is the number of reservations currently outstanding.
+	InFlight int `json:"in_flight"`
+}
+
+// memLease is one admitted request's stake in the broker: its reservation,
+// its gauge (what the monitor samples) and its cancel lever (how the monitor
+// kills it).
+type memLease struct {
+	gauge   *omega.MemGauge
+	cancel  context.CancelCauseFunc
+	reserve int64
+	killed  bool
+}
+
+// memBroker admits requests against a global accounted-bytes budget and
+// victimizes the largest-footprint execution under sustained pressure.
+type memBroker struct {
+	budget  int64
+	reserve int64
+
+	mu        sync.Mutex
+	leases    map[*memLease]struct{}
+	reserved  int64
+	live      int64 // sum of lease gauges at the last monitor tick
+	peakLive  int64
+	overTicks int
+	stats     BrokerStats // counters only; gauge fields filled by Stats
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// goMemLimit returns the runtime's soft memory limit (the GOMEMLIMIT
+// environment variable), or 0 when none is set.
+func goMemLimit() int64 {
+	if lim := debug.SetMemoryLimit(-1); lim != math.MaxInt64 {
+		return lim
+	}
+	return 0
+}
+
+// newMemBroker builds a broker from the server config, or returns nil when no
+// budget is configured: budget 0 defaults to GOMEMLIMIT (and to disabled when
+// that is unset too), negative disables explicitly. slots is the scheduler's
+// admission bound (workers + queue), from which the default per-request
+// reservation is carved.
+func newMemBroker(budget, reserve int64, interval time.Duration, slots int) *memBroker {
+	if budget == 0 {
+		budget = goMemLimit()
+	}
+	if budget <= 0 {
+		return nil
+	}
+	if reserve <= 0 {
+		if slots < 1 {
+			slots = 1
+		}
+		reserve = budget / int64(slots)
+		if reserve < 1 {
+			reserve = 1
+		}
+	}
+	if interval <= 0 {
+		interval = defaultMemCheckInterval
+	}
+	b := &memBroker{
+		budget:  budget,
+		reserve: reserve,
+		leases:  make(map[*memLease]struct{}),
+		stop:    make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.monitor(interval)
+	return b
+}
+
+// Reserve admits one request, binding its gauge and cancel lever to a lease,
+// or rejects with *OverloadedError when the budget is fully reserved. Release
+// the lease when the request finishes, whatever its outcome.
+func (b *memBroker) Reserve(gauge *omega.MemGauge, cancel context.CancelCauseFunc, retryAfter time.Duration) (*memLease, error) {
+	injected := error(nil)
+	if fault.Enabled() {
+		injected = fault.Inject(fpBrokerReserve)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if injected != nil || b.reserved+b.reserve > b.budget {
+		b.stats.ReserveRejects++
+		return nil, &OverloadedError{InFlight: len(b.leases), RetryAfter: retryAfter}
+	}
+	l := &memLease{gauge: gauge, cancel: cancel, reserve: b.reserve}
+	b.leases[l] = struct{}{}
+	b.reserved += l.reserve
+	b.stats.Admitted++
+	return l, nil
+}
+
+// Release returns a lease's reservation. Safe on a nil lease, so callers can
+// defer it unconditionally.
+func (b *memBroker) Release(l *memLease) {
+	if l == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.leases[l]; !ok {
+		return
+	}
+	delete(b.leases, l)
+	b.reserved -= l.reserve
+}
+
+// NoteBudgetAbort counts one request that failed with omega.ErrMemBudget —
+// whether from its own hard watermark or from a victim kill.
+func (b *memBroker) NoteBudgetAbort() {
+	b.mu.Lock()
+	b.stats.BudgetAborts++
+	b.mu.Unlock()
+}
+
+// monitor samples the lease gauges and victimizes the largest-footprint
+// execution after two consecutive over-budget ticks — one tick may be a
+// transient the per-request spill escalation is already draining.
+func (b *memBroker) monitor(interval time.Duration) {
+	defer b.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+		}
+		b.tick()
+	}
+}
+
+func (b *memBroker) tick() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var live int64
+	var victim *memLease
+	var victimLive int64
+	for l := range b.leases {
+		n := l.gauge.LiveBytes()
+		live += n
+		if !l.killed && n > victimLive {
+			victim, victimLive = l, n
+		}
+	}
+	b.live = live
+	if live > b.peakLive {
+		b.peakLive = live
+	}
+	if live <= b.budget {
+		b.overTicks = 0
+		return
+	}
+	b.overTicks++
+	if b.overTicks < 2 || victim == nil {
+		return
+	}
+	// Abort the largest-footprint execution: its context cancellation carries
+	// ErrMemBudget as the cause, which the evaluator maps back onto the typed
+	// error (and which poisons its pooled state). Reset the tick count so the
+	// kill gets a full grace period to free its bytes before the next one.
+	victim.killed = true
+	victim.cancel(omega.ErrMemBudget)
+	b.stats.VictimKills++
+	b.overTicks = 0
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *memBroker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.BudgetBytes = b.budget
+	s.ReserveBytes = b.reserve
+	s.ReservedBytes = b.reserved
+	s.LiveBytes = b.live
+	s.PeakLiveBytes = b.peakLive
+	s.InFlight = len(b.leases)
+	return s
+}
+
+// Close stops the pressure monitor. Idempotent.
+func (b *memBroker) Close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}

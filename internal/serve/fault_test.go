@@ -199,6 +199,70 @@ func TestDegradedModeDetection(t *testing.T) {
 	}
 }
 
+// TestDegradedModeExits: degraded mode is a sliding window, not a latch —
+// once DegradeWindow passes with no further rejections, admission must
+// recover on its own and new requests run with untightened defaults again.
+func TestDegradedModeExits(t *testing.T) {
+	eng := chainEngine(t, 20)
+	pq := prepared(t, eng, "(?X, ?Y) <- (?X, knows+, ?Y)")
+	const window = 80 * time.Millisecond
+	s := NewScheduler(SchedulerConfig{
+		Workers:       1,
+		Queue:         -1,
+		DegradeAfter:  2,
+		DegradeWindow: window,
+	})
+	defer s.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Stream(context.Background(),
+			func(ctx context.Context) (*omega.Rows, error) {
+				return pq.Exec(ctx, omega.ExecOptions{Limit: 1})
+			},
+			func(omega.Row) error {
+				close(started)
+				<-block
+				return nil
+			})
+		done <- err
+	}()
+	<-started
+	for i := 0; i < 2; i++ {
+		_, err := s.Stream(context.Background(),
+			func(ctx context.Context) (*omega.Rows, error) {
+				return pq.Exec(ctx, omega.ExecOptions{})
+			},
+			func(omega.Row) error { return nil })
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("rejection %d: err = %v, want ErrOverloaded", i, err)
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("not degraded after rejections inside the window")
+	}
+
+	// No further rejections: once the window slides past the recorded ones,
+	// the flag must drop without any other stimulus.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("still degraded long after DegradeWindow passed without rejections")
+		}
+		time.Sleep(window / 8)
+	}
+	if st := s.Stats(); st.Degraded {
+		t.Fatalf("stats = %+v, want Degraded=false after recovery", st)
+	}
+
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked request: %v", err)
+	}
+}
+
 // TestSchedulerGapHistogram: after a stream completes, the p99 inter-row gap
 // must be populated — the observability half of the watchdog work.
 func TestSchedulerGapHistogram(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -56,6 +57,26 @@ type Config struct {
 	// MaxLimit caps the per-request row limit; requests asking for more (or
 	// for everything) are clamped. 0 means no cap.
 	MaxLimit int
+	// MemBudget is the server-wide accounted-bytes budget enforced by the
+	// memory broker: admission reserves MemReserve bytes per request against
+	// it (rejecting with 503 + Retry-After when exhausted), and under
+	// sustained pressure the largest-footprint running query is aborted with
+	// omega.ErrMemBudget (507). 0 defaults to GOMEMLIMIT when that is set and
+	// disables the broker otherwise; negative disables explicitly.
+	MemBudget int64
+	// MemReserve is the per-request admission reservation (default:
+	// MemBudget divided by the scheduler's admission bound).
+	MemReserve int64
+	// MemCheckInterval paces the broker's victim-selection monitor (default
+	// 100ms).
+	MemCheckInterval time.Duration
+	// SoftMemBytes / HardMemBytes are the default per-request memory
+	// watermarks applied when the request carries no softmem/hardmem
+	// parameter: crossing the soft watermark degrades the execution to disk
+	// spilling, crossing the hard one aborts it with omega.ErrMemBudget
+	// (507). 0 disables either.
+	SoftMemBytes int64
+	HardMemBytes int64
 	// Log, when non-nil, receives one line per finished request (rows,
 	// latency, evaluation counters) and server lifecycle events.
 	Log *log.Logger
@@ -74,9 +95,12 @@ type Server struct {
 	cache    *PlanCache
 	sched    *Scheduler
 	pool     *omega.EvalPool
+	broker   *memBroker // nil when no memory budget is configured
 	mux      *http.ServeMux
-	degLimit int // degraded-mode row-limit clamp (0 = no clamp)
-	degDist  int // degraded-mode maxdist clamp (0 = no clamp)
+	degLimit int   // degraded-mode row-limit clamp (0 = no clamp)
+	degDist  int   // degraded-mode maxdist clamp (0 = no clamp)
+	softMem  int64 // default per-request soft memory watermark (0 = none)
+	hardMem  int64 // default per-request hard memory watermark (0 = none)
 	logf     func(format string, args ...any)
 }
 
@@ -99,8 +123,11 @@ func New(cfg Config) *Server {
 		eng:      cfg.Engine,
 		cache:    NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
 		sched:    NewScheduler(sc),
+		broker:   newMemBroker(cfg.MemBudget, cfg.MemReserve, cfg.MemCheckInterval, sc.Workers+sc.queueSlots()),
 		degLimit: cfg.DegradedLimit,
 		degDist:  cfg.DegradedMaxDist,
+		softMem:  cfg.SoftMemBytes,
+		hardMem:  cfg.HardMemBytes,
 		logf:     func(string, ...any) {},
 	}
 	if cfg.Log != nil {
@@ -140,6 +167,9 @@ func (s *Server) PlanCache() *PlanCache { return s.cache }
 // listener has shut down.
 func (s *Server) Close() error {
 	err := s.sched.Close()
+	if s.broker != nil {
+		s.broker.Close()
+	}
 	s.logf("serve: scheduler drained")
 	return err
 }
@@ -178,16 +208,23 @@ type statsLine struct {
 	Phases       int `json:"phases"`
 	Deferred     int `json:"deferred"`
 	Reinjected   int `json:"reinjected"`
+	// MemPeakBytes is the execution's accounted peak resident footprint;
+	// SpillEscalations counts soft-watermark crossings that tightened its
+	// spill thresholds.
+	MemPeakBytes     int64 `json:"mem_peak_bytes,omitempty"`
+	SpillEscalations int   `json:"spill_escalations,omitempty"`
 }
 
 func toStatsLine(s omega.Stats) statsLine {
 	return statsLine{
-		TuplesAdded:  s.TuplesAdded,
-		TuplesPopped: s.TuplesPopped,
-		VisitedSize:  s.VisitedSize,
-		Phases:       s.Phases,
-		Deferred:     s.Deferred,
-		Reinjected:   s.Reinjected,
+		TuplesAdded:      s.TuplesAdded,
+		TuplesPopped:     s.TuplesPopped,
+		VisitedSize:      s.VisitedSize,
+		Phases:           s.Phases,
+		Deferred:         s.Deferred,
+		Reinjected:       s.Reinjected,
+		MemPeakBytes:     s.MemPeakBytes,
+		SpillEscalations: s.SpillEscalations,
 	}
 }
 
@@ -224,6 +261,20 @@ func parseIntParam(r *http.Request, name string) (int, error) {
 	return n, nil
 }
 
+// parseBytesParam parses a non-negative byte count (softmem/hardmem), falling
+// back to def when the parameter is absent.
+func parseBytesParam(r *http.Request, name string, def int64) (int64, error) {
+	v := r.FormValue(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid %s %q", name, v)
+	}
+	return n, nil
+}
+
 // handleQuery evaluates one query and streams its answers.
 //
 // Parameters (query string or form body):
@@ -233,6 +284,8 @@ func parseIntParam(r *http.Request, name string) (int, error) {
 //	limit    — maximum rows to return
 //	maxdist  — maximum total answer distance
 //	maxtuples— per-request tuple budget override
+//	softmem  — soft memory watermark in bytes (degrade to disk spilling)
+//	hardmem  — hard memory watermark in bytes (abort with 507)
 //	timeout  — per-request deadline, Go duration syntax (e.g. 2s, 500ms)
 //
 // The response is application/x-ndjson: one JSON object per answer row, in
@@ -240,10 +293,11 @@ func parseIntParam(r *http.Request, name string) (int, error) {
 // {"done":true,...} with the evaluation counters (and "degraded":true when
 // degraded-mode admission clamped the request) or {"error":...} if the
 // stream failed mid-flight. Failures before the first row map to HTTP status
-// codes: 400 (bad query/parameters), 503 + Retry-After (admission control or
-// shutdown), 504 (deadline or watchdog stall before any row), 500 (recovered
-// panic, disk fault, or other internal failure — the request died, the
-// server keeps serving).
+// codes: 400 (bad query/parameters), 503 + Retry-After (admission control —
+// scheduler or memory broker — or shutdown), 504 (deadline or watchdog stall
+// before any row), 507 (hard memory watermark crossed, or aborted as the
+// broker's pressure victim), 500 (recovered panic, disk fault, or other
+// internal failure — the request died, the server keeps serving).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit int) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
@@ -273,6 +327,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		return
 	}
 	maxTuples, err := parseIntParam(r, "maxtuples")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	softMem, err := parseBytesParam(r, "softmem", s.softMem)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hardMem, err := parseBytesParam(r, "hardmem", s.hardMem)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -309,11 +373,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		}
 	}
 
+	// The cancel-cause wrapper is the memory broker's abort lever: the
+	// victim monitor cancels with omega.ErrMemBudget as the cause, which
+	// the evaluator maps back onto the typed error (poisoning its pooled
+	// state). The gauge is always created — even without a broker it carries
+	// the per-request watermarks and feeds mem_peak_bytes in the done line.
+	ctx, cancelCause := context.WithCancelCause(ctx)
+	defer cancelCause(nil)
+	gauge := omega.NewMemGauge(softMem, hardMem)
+	if s.broker != nil {
+		lease, err := s.broker.Reserve(gauge, cancelCause, s.sched.RetryAfter())
+		if err != nil {
+			secs := int(math.Ceil(s.sched.RetryAfter().Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.broker.Release(lease)
+	}
+
 	eo := omega.ExecOptions{
 		Limit:     limit,
 		MaxDist:   int32(maxDist),
 		MaxTuples: maxTuples,
 		Pool:      s.pool,
+		Mem:       gauge,
 	}
 
 	start := time.Now()
@@ -348,6 +435,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	elapsed := time.Since(start)
 	if err != nil {
 		s.logf("serve: query failed after %d rows in %.1fms: %v", res.Rows, float64(elapsed.Nanoseconds())/1e6, err)
+		if errors.Is(err, omega.ErrMemBudget) && s.broker != nil {
+			// Counted here (not in the broker's kill path) so hard-watermark
+			// aborts and victim kills both land in budget_aborts.
+			s.broker.NoteBudgetAbort()
+		}
 		if wrote {
 			// The status line is gone; report the failure in-band.
 			_ = enc.Encode(errorLine{Error: err.Error(), Rows: res.Rows})
@@ -373,6 +465,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 			http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		case errors.Is(err, omega.ErrCanceled):
 			// The client is gone; nothing useful to write.
+		case errors.Is(err, omega.ErrMemBudget):
+			// The execution crossed its hard memory watermark, or the broker
+			// picked it as the pressure victim: the server shed the request's
+			// memory, not the request's correctness — retrying with a higher
+			// budget (or after load subsides) starts fresh.
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
 		case errors.Is(err, omega.ErrTupleBudget):
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		default:
@@ -396,21 +494,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, `{"ok":true}`)
 }
 
+// runtimeStats is the /statsz "runtime" section: the Go heap figures an
+// operator correlates with the broker's accounted bytes when diagnosing
+// memory pressure.
+type runtimeStats struct {
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	LastGCPauseMs  float64 `json:"last_gc_pause_ms"`
+}
+
+func readRuntimeStats() runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := runtimeStats{
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapInuseBytes: ms.HeapInuse,
+		NumGC:          ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseMs = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return rs
+}
+
 // statszPayload is the /statsz response body.
 type statszPayload struct {
 	Scheduler SchedulerStats   `json:"scheduler"`
 	PlanCache CacheStats       `json:"plan_cache"`
 	Pool      *omega.PoolStats `json:"pool,omitempty"`
+	MemBroker *BrokerStats     `json:"mem_broker,omitempty"`
+	Runtime   runtimeStats     `json:"runtime"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	payload := statszPayload{
 		Scheduler: s.sched.Stats(),
 		PlanCache: s.cache.Stats(),
+		Runtime:   readRuntimeStats(),
 	}
 	if s.pool != nil {
 		ps := s.pool.Stats()
 		payload.Pool = &ps
+	}
+	if s.broker != nil {
+		bs := s.broker.Stats()
+		payload.MemBroker = &bs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

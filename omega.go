@@ -106,6 +106,9 @@ type (
 	EvalPool = core.EvalPool
 	// PoolStats reports EvalPool effectiveness counters.
 	PoolStats = core.PoolStats
+	// MemGauge aggregates an execution's accounted resident bytes and
+	// carries its memory watermarks; see ExecOptions.Mem and NewMemGauge.
+	MemGauge = core.MemGauge
 	// PathExpr is a parsed regular path expression.
 	PathExpr = rpq.Expr
 )
@@ -166,6 +169,16 @@ var ErrClosed = core.ErrClosed
 // over; retrying means starting a fresh execution.
 var ErrSpill = core.ErrSpill
 
+// ErrMemBudget is returned by Rows.Next when an execution crosses its hard
+// memory watermark (ExecOptions.HardMemBytes), or when the serving layer's
+// memory broker aborts it as the largest-footprint victim under global
+// pressure. The execution is over and its pooled evaluator state is discarded
+// rather than recycled (shedding the capacity is the point); re-running the
+// query with a higher budget — or after load subsides — starts fresh. The
+// soft watermark (SoftMemBytes) never produces this error: it degrades the
+// execution to disk spilling and keeps it streaming.
+var ErrMemBudget = core.ErrMemBudget
+
 // ModeOverride is a convenience for ExecOptions.Mode: it returns a pointer to
 // mode, overriding every conjunct's mode for one execution.
 func ModeOverride(mode Mode) *Mode { m := mode; return &m }
@@ -178,6 +191,13 @@ func ModeOverride(mode Mode) *Mode { m := mode; return &m }
 // fresh. One pool may serve any number of prepared queries over any number
 // of graphs, from any number of goroutines.
 func NewEvalPool(max int) *EvalPool { return core.NewEvalPool(max) }
+
+// NewMemGauge returns a memory gauge with the given soft and hard watermarks
+// (0 disables either). Pass it via ExecOptions.Mem when an external observer
+// — like the serving layer's memory broker — needs to watch an execution's
+// live bytes; plain callers set ExecOptions.SoftMemBytes/HardMemBytes and let
+// Exec create the gauge internally.
+func NewMemGauge(soft, hard int64) *MemGauge { return core.NewMemGauge(soft, hard) }
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
