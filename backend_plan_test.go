@@ -1,0 +1,102 @@
+package omega
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"omega/internal/l4all"
+)
+
+// TestPlannerBackendSelection pins the cost-based backend choice and its
+// Explain evidence: exhaustive exact variable-subject scans go bulk, ranked
+// modes and small seed populations stay ranked, and pinning a backend is
+// reported as such. The exact reason strings are part of the operator-facing
+// surface (they appear in Explain output and bug reports), so the substrings
+// asserted here are deliberate.
+func TestPlannerBackendSelection(t *testing.T) {
+	g, ont := datasets().L4All(l4all.L1)
+	eng := NewEngine(g, ont)
+	explain := func(e *Engine, text string) string {
+		t.Helper()
+		out, err := e.Explain(text)
+		if err != nil {
+			t.Fatalf("Explain(%q): %v", text, err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		eng  *Engine
+		text string
+		want string
+	}{
+		{"exhaustive exact variable subject goes bulk",
+			eng, "(?X, ?Y) <- (?X, job.type, ?Y)",
+			"backend: bulk set-semantics (auto: exhaustive exact scan:"},
+		{"closure query goes bulk",
+			eng, "(?X, ?Y) <- (?X, next+, ?Y)",
+			"backend: bulk set-semantics (auto: exhaustive exact scan:"},
+		{"approx mode stays ranked",
+			eng, "(?X) <- APPROX (Librarians, type-.job-.next, ?X)",
+			"backend: ranked GetNext (auto: APPROX mode ranks answers by distance)"},
+		{"constant subject stays ranked",
+			eng, "(?X) <- (Librarians, type-, ?X)",
+			"backend: ranked GetNext (auto: seed population 1 below word-parallel payoff"},
+		{"pinned ranked reported as forced",
+			eng.WithOptions(Options{Backend: BackendRanked}), "(?X, ?Y) <- (?X, job.type, ?Y)",
+			"backend: ranked GetNext (pinned: forced)"},
+		{"pinned bulk reported as forced",
+			eng.WithOptions(Options{Backend: BackendBulk}), "(?X, ?Y) <- (?X, job.type, ?Y)",
+			"backend: bulk set-semantics (pinned: forced)"},
+	}
+	for _, tc := range cases {
+		out := explain(tc.eng, tc.text)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s: Explain(%q) missing %q; got:\n%s", tc.name, tc.text, tc.want, out)
+		}
+	}
+	// Auto-bulk Explain also shows the cost model evidence line.
+	out := explain(eng, "(?X, ?Y) <- (?X, job.type, ?Y)")
+	if !strings.Contains(out, "backend cost model: S=") {
+		t.Errorf("auto-bulk Explain missing cost model line; got:\n%s", out)
+	}
+}
+
+// TestExecBackendMatchesPlanner confirms the Explain decision is what
+// executions actually do: Stats.Backend reflects auto selection and every
+// override layer (engine Options, ExecOptions, and Limit demotion).
+func TestExecBackendMatchesPlanner(t *testing.T) {
+	g, ont := datasets().L4All(l4all.L1)
+	eng := NewEngine(g, ont)
+	pq, err := eng.PrepareText("(?X, ?Y) <- (?X, job.type, ?Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backendOf := func(eo ExecOptions) string {
+		t.Helper()
+		rows, err := pq.Exec(context.Background(), eo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		if _, err := rows.Collect(0); err != nil {
+			t.Fatal(err)
+		}
+		return rows.Stats().Backend
+	}
+	if got := backendOf(ExecOptions{}); got != "bulk" {
+		t.Errorf("auto exhaustive exact: Stats.Backend = %q, want bulk", got)
+	}
+	if got := backendOf(ExecOptions{Backend: BackendRanked}); got != "ranked" {
+		t.Errorf("forced ranked: Stats.Backend = %q, want ranked", got)
+	}
+	// A limited execution streams a ranked prefix even under auto.
+	if got := backendOf(ExecOptions{Limit: 5}); got != "ranked" {
+		t.Errorf("auto with Limit: Stats.Backend = %q, want ranked", got)
+	}
+	// Forcing bulk survives a Limit (the caller owns that trade-off).
+	if got := backendOf(ExecOptions{Backend: BackendBulk, Limit: 5}); got != "bulk" {
+		t.Errorf("forced bulk with Limit: Stats.Backend = %q, want bulk", got)
+	}
+}

@@ -280,7 +280,7 @@ func TestChaosServer(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	spec := "serve.quantum=panic@0.03;serve.write=error@0.02;dstruct.spill.write=error@0.15;core.row=error@0.01"
+	spec := "serve.quantum=panic@0.03;serve.write=error@0.02;dstruct.spill.write=error@0.15;core.row=error@0.01;bulk.step=error@0.05"
 	if err := fault.Configure(spec, 42); err != nil {
 		t.Fatal(err)
 	}
@@ -292,6 +292,11 @@ func TestChaosServer(t *testing.T) {
 	)
 	q := url.Values{"q": {chaosQuery}, "limit": {"80"}}
 	target := ts.URL + "/query?" + q.Encode()
+	// Half the storm goes through the bulk backend (forced: the request is
+	// limited, so auto would stream a ranked prefix), reaching the bulk.step
+	// fault site through the same serving stack.
+	bq := url.Values{"q": {"(?X, ?Y) <- (?X, job.type, ?Y)"}, "backend": {"bulk"}, "limit": {"80"}}
+	bulkTarget := ts.URL + "/query?" + bq.Encode()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	statuses := map[int]int{}
@@ -301,7 +306,11 @@ func TestChaosServer(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < requests; r++ {
-				resp, err := ts.Client().Get(target)
+				u := target
+				if r%2 == 1 {
+					u = bulkTarget
+				}
+				resp, err := ts.Client().Get(u)
 				if err != nil {
 					t.Errorf("GET: %v", err)
 					return
@@ -404,6 +413,89 @@ func TestChaosServer(t *testing.T) {
 	}
 	t.Logf("chaos summary: statuses=%v in-band errors=%d fired=%v panics=%d",
 		statuses, inBandErrors, mergeFired, statsz.Scheduler.Panics)
+}
+
+// TestChaosBulkStep storms the bulk backend's per-level fault site: forced
+// bulk executions of an exhaustive exact query under a probabilistic
+// bulk.step schedule and an externally observed memory gauge. Failures must
+// be the typed fault.ErrInjected, every death must refund its accounted
+// bytes to the gauge, and once disarmed the bulk answer set must match the
+// ranked baseline exactly.
+func TestChaosBulkStep(t *testing.T) {
+	eng := chaosEngine(t, omega.Options{})
+	pq, err := eng.PrepareText("(?X, ?Y) <- (?X, job.type, ?Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(r omega.Row) string { return fmt.Sprintf("%v", r.Nodes) }
+	baselineRows := func(eo omega.ExecOptions) map[string]bool {
+		rows, err := pq.Exec(context.Background(), eo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rows.Collect(0)
+		rows.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[string]bool, len(got))
+		for _, r := range got {
+			set[key(r)] = true
+		}
+		return set
+	}
+	want := baselineRows(omega.ExecOptions{Backend: omega.BackendRanked})
+
+	t.Cleanup(fault.Reset)
+	failures := 0
+	var maxPeak int64
+	for seed := int64(1); seed <= 6; seed++ {
+		if err := fault.Configure("bulk.step=error@0.5", seed); err != nil {
+			t.Fatal(err)
+		}
+		gauge := omega.NewMemGauge(0, 0)
+		rows, err := pq.Exec(context.Background(), omega.ExecOptions{Backend: omega.BackendBulk, Mem: gauge})
+		if err != nil {
+			t.Fatalf("seed %d: Exec: %v", seed, err)
+		}
+		n, err := drainChaos(rows, 0)
+		if err != nil {
+			failures++
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("seed %d: bulk death not typed fault.ErrInjected: %v", seed, err)
+			}
+			if !strings.Contains(err.Error(), "bulk step") {
+				t.Fatalf("seed %d: error %v does not name the bulk.step site", seed, err)
+			}
+		}
+		// The failpoint fires before the step's byte accounting, so a
+		// first-step kill legitimately records no peak; across the seeds at
+		// least one run must get far enough to account its matrices.
+		if p := gauge.PeakBytes(); p > maxPeak {
+			maxPeak = p
+		}
+		if live := gauge.LiveBytes(); live != 0 {
+			t.Fatalf("seed %d: %d live bytes after release (drained %d rows, err=%v)", seed, live, n, err)
+		}
+		fault.Reset()
+
+		// Disarmed: the same prepared query, forced bulk, matches ranked.
+		got := baselineRows(omega.ExecOptions{Backend: omega.BackendBulk})
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: bulk %d rows after disarm, ranked %d", seed, len(got), len(want))
+		}
+		for k := range got {
+			if !want[k] {
+				t.Fatalf("seed %d: bulk row %s not in ranked set", seed, k)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("bulk.step@0.5 never killed an execution across 6 seeds — the site is not armed")
+	}
+	if maxPeak == 0 {
+		t.Fatal("no bulk execution ever accounted bytes into the gauge")
+	}
 }
 
 // TestChaosMemoryPressure storms the memory-governance surface: concurrent

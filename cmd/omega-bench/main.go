@@ -7,7 +7,8 @@
 //	omega-bench -exp fig5 -scales L1,L2          # one experiment, small scales
 //	omega-bench -exp fig10,fig11 -yago-scale 0.2
 //
-// Experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt1 opt2 prep serve.
+// Experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt1 opt2 prep serve
+// bulk.
 package main
 
 import (
@@ -39,11 +40,12 @@ var experiments = []struct {
 	{"opt2", "§4.3 optimisation 2: replacing alternation by disjunction", func(c bench.Config) error { return bench.Opt2(os.Stdout, c) }},
 	{"prep", "Prepared queries: compile-once / exec-many amortisation", func(c bench.Config) error { return bench.Prep(os.Stdout, c) }},
 	{"serve", "Serving layer: pooled evaluator state + scheduler (QPS, latency, allocs/request)", func(c bench.Config) error { return bench.Serve(os.Stdout, c) }},
+	{"bulk", "Bulk set-semantics backend vs ranked GetNext (exhaustive exact Q4–Q7)", func(c bench.Config) error { return bench.Bulk(os.Stdout, c) }},
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments (fig2,fig3,fig5..fig8,fig10,fig11,opt1,opt2,prep,serve) or 'all'")
+		exp        = flag.String("exp", "all", "comma-separated experiments (fig2,fig3,fig5..fig8,fig10,fig11,opt1,opt2,prep,serve,bulk) or 'all'")
 		scalesFlag = flag.String("scales", "L1,L2,L3,L4", "L4All scales to include")
 		yagoScale  = flag.Float64("yago-scale", 1.0, "YAGO size factor (1.0 ≈ 40k nodes)")
 		runs       = flag.Int("runs", 5, "runs per query (first discarded)")

@@ -40,6 +40,7 @@ func main() {
 		disjunct    = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
 		rareSide    = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end (extension)")
 		budget      = flag.Int("max-tuples", 0, "tuple budget (0 = unlimited)")
+		backend     = flag.String("backend", "auto", "evaluation engine: auto|ranked|bulk")
 		stats       = flag.Bool("stats", false, "print evaluation statistics")
 		explain     = flag.Bool("explain", false, "print the evaluation plan instead of running the query")
 		interactive = flag.Bool("interactive", false, "start the interactive console (paper's console layer)")
@@ -57,11 +58,16 @@ func main() {
 		fatal(err)
 	}
 
+	be, err := omega.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	opts := omega.Options{
 		DistanceAware: *distAware,
 		Disjunction:   *disjunct,
 		RareSide:      *rareSide,
 		MaxTuples:     *budget,
+		Backend:       be,
 	}
 	eng := omega.NewEngine(g, ont).WithOptions(opts)
 
@@ -124,8 +130,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%d answers in %v\n", count, elapsed)
 	if *stats {
 		s := rows.Stats()
-		fmt.Fprintf(os.Stderr, "tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
-			s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)
+		fmt.Fprintf(os.Stderr, "backend=%s tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
+			s.Backend, s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)
 	}
 }
 

@@ -93,4 +93,5 @@ func ExampleEngine_Explain() {
 	// conjunct 1: APPROX (a, p, ?X)
 	//   case 1: constant subject, 1 seed(s)
 	//   automaton (APPROX): 2 states, 4 compiled transitions
+	//   backend: ranked GetNext (auto: APPROX mode ranks answers by distance)
 }

@@ -20,8 +20,13 @@ func TestL4AllCorpusDifferential(t *testing.T) {
 			if mode != Exact {
 				limit = 500
 			}
-			fast := collectAnswers(t, g, ont, q.Text, mode, Options{}, limit)
-			slow := collectAnswers(t, g, ont, q.Text, mode, Options{RefDict: true}, limit)
+			// The ranked backend is pinned on both sides: this test exists to
+			// differentiate the two D_R dictionary implementations, and auto
+			// selection would route exhaustive exact queries to the bulk
+			// engine (which uses neither). Bulk-vs-ranked equality has its own
+			// corpus differential.
+			fast := collectAnswers(t, g, ont, q.Text, mode, Options{Backend: BackendRanked}, limit)
+			slow := collectAnswers(t, g, ont, q.Text, mode, Options{Backend: BackendRanked, RefDict: true}, limit)
 			if len(fast) != len(slow) {
 				t.Fatalf("%s/%v: bucket queue emitted %d answers, reference dict %d",
 					q.ID, mode, len(fast), len(slow))

@@ -59,6 +59,10 @@ type Measurement struct {
 	TuplesPopped int
 	Phases       int // distance-aware ψ phases (1 otherwise)
 	Reinjected   int // deferred tuples re-admitted (incremental mode only)
+	Backend      string
+	// Speedup is filled by paired experiments (bulk): ranked time over this
+	// measurement's time.
+	Speedup float64
 }
 
 // DistBreakdown renders the Figure 5-style per-distance annotation, e.g.
@@ -91,6 +95,13 @@ func Run(g *graph.Graph, ont *ontology.Ontology, dataset, id, text string, mode 
 	}
 	for i := range q.Conjuncts {
 		q.Conjuncts[i].Mode = mode
+	}
+
+	// The paper's figures measure the ranked GetNext machinery; unless an
+	// experiment pins a backend explicitly, keep auto selection out of the
+	// reproduction numbers.
+	if opts.Backend == core.BackendAuto {
+		opts.Backend = core.BackendRanked
 	}
 
 	m := Measurement{ID: id, Dataset: dataset, Mode: mode, ByDist: map[int]int{}}
@@ -184,6 +195,7 @@ func Run(g *graph.Graph, ont *ontology.Ontology, dataset, id, text string, mode 
 			m.TuplesPopped = s.TuplesPopped
 			m.Phases = s.Phases
 			m.Reinjected = s.Reinjected
+			m.Backend = s.Backend
 		}
 		if failed {
 			// A failed (budget-exhausted) query would fail identically on

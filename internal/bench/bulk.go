@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/l4all"
+	"omega/internal/ontology"
+	"omega/internal/query"
+)
+
+// bulkQueries returns the variable-subject Figure 4 queries (Q4–Q7). The
+// paper excludes them from Figures 5–8 because they return well over 100
+// answers — which is exactly the regime the bulk set-semantics backend
+// targets: exhaustive exact scans with a large seed population.
+func bulkQueries() []l4all.QuerySpec {
+	ids := map[string]bool{"Q4": true, "Q5": true, "Q6": true, "Q7": true}
+	var out []l4all.QuerySpec
+	for _, q := range l4all.Queries() {
+		if ids[q.ID] {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// answerKeys evaluates text exhaustively in exact mode under the given
+// backend and returns the sorted multiset of projected answer rows.
+func answerKeys(g *graph.Graph, ont *ontology.Ontology, text string, opts core.Options, backend core.Backend) ([]string, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i].Mode = automaton.Exact
+	}
+	opts.Backend = backend
+	it, err := core.OpenQuery(g, ont, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for {
+		a, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := ""
+		for _, n := range a.Nodes {
+			k += fmt.Sprintf("%d|", n)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Bulk renders the bulk-backend experiment: the variable-subject study
+// queries (Q4–Q7) evaluated exhaustively in exact mode, ranked GetNext vs
+// the bulk bitset backend, on each configured L4All scale. Every pairing is
+// gated on answer-set identity — a timing row is only reported after the two
+// backends produced the same rows — and the bulk record carries the speedup.
+func Bulk(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scale\tQuery\tAnswers\tRanked (ms)\tBulk (ms)\tSpeedup")
+	for _, s := range cfg.Scales {
+		g, ont := cfg.Datasets.L4All(s)
+		for _, q := range bulkQueries() {
+			ranked, err := answerKeys(g, ont, q.Text, cfg.Opts, core.BackendRanked)
+			if err != nil {
+				return fmt.Errorf("bench: bulk: %s/%s ranked: %w", s, q.ID, err)
+			}
+			bulk, err := answerKeys(g, ont, q.Text, cfg.Opts, core.BackendBulk)
+			if err != nil {
+				return fmt.Errorf("bench: bulk: %s/%s bulk: %w", s, q.ID, err)
+			}
+			if len(ranked) != len(bulk) {
+				return fmt.Errorf("bench: bulk: %s/%s answer sets differ: ranked %d rows, bulk %d rows", s, q.ID, len(ranked), len(bulk))
+			}
+			for i := range ranked {
+				if ranked[i] != bulk[i] {
+					return fmt.Errorf("bench: bulk: %s/%s answer sets differ at sorted row %d: ranked %q, bulk %q", s, q.ID, i, ranked[i], bulk[i])
+				}
+			}
+
+			rOpts, bOpts := cfg.Opts, cfg.Opts
+			rOpts.Backend = core.BackendRanked
+			bOpts.Backend = core.BackendBulk
+			mr, err := Run(g, ont, s.String(), q.ID, q.Text, automaton.Exact, rOpts, cfg.Proto)
+			if err != nil {
+				return err
+			}
+			mb, err := Run(g, ont, s.String(), q.ID, q.Text, automaton.Exact, bOpts, cfg.Proto)
+			if err != nil {
+				return err
+			}
+			if mb.Total > 0 {
+				mb.Speedup = float64(mr.Total) / float64(mb.Total)
+			}
+			cfg.record(mr)
+			cfg.record(mb)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.1f×\n",
+				s, q.ID, mb.Answers, ms(mr.Total.Nanoseconds()), ms(mb.Total.Nanoseconds()), mb.Speedup)
+		}
+	}
+	return tw.Flush()
+}

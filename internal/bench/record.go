@@ -24,6 +24,11 @@ type Record struct {
 	Phases       int     `json:"phases"`     // distance-aware ψ phases (1 otherwise)
 	Reinjected   int     `json:"reinjected"` // deferred tuples re-admitted (incremental distance-aware)
 	Failed       bool    `json:"failed"`     // tuple budget exhausted ('?')
+	// Backend names the evaluation engine that ran ("ranked" or "bulk");
+	// Speedup, on bulk records, is the paired ranked time divided by the bulk
+	// time on the same query and scale (bulk experiment).
+	Backend string  `json:"backend,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
 	// Serving-layer metrics (serve experiment).
 	AllocsPerReq float64 `json:"allocs_per_req,omitempty"` // steady-state heap allocations per request
 	BytesPerReq  float64 `json:"bytes_per_req,omitempty"`  // steady-state heap bytes per request
@@ -123,5 +128,7 @@ func (c Config) record(m Measurement) {
 		Phases:       m.Phases,
 		Reinjected:   m.Reinjected,
 		Failed:       m.Failed,
+		Backend:      m.Backend,
+		Speedup:      m.Speedup,
 	})
 }

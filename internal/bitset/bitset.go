@@ -86,6 +86,22 @@ func (s *Set) Len() int {
 // footprint is 8×Words bytes, regardless of population).
 func (s *Set) Words() int { return len(s.words) }
 
+// setOverheadBytes is the fixed per-Set footprint charged by Bytes on top of
+// the word storage: the struct itself (slice header + count).
+const setOverheadBytes = 32
+
+// Bytes returns the set's capacity-based resident footprint in bytes:
+// 8×cap(words) of bitmap storage plus the fixed struct overhead. Like the
+// dstruct accounting, it measures what the process holds, regardless of
+// population.
+func (s *Set) Bytes() int64 { return int64(cap(s.words))*8 + setOverheadBytes }
+
+// Row exposes the set's backing words for the package-level row operations
+// (OrInto, AndNotInto, Count, EachBit). The returned slice aliases the set:
+// treat it as read-only — writing through it bypasses the cached population
+// count.
+func (s *Set) Row() []uint64 { return s.words }
+
 // Clear removes all elements, retaining capacity.
 func (s *Set) Clear() {
 	for i := range s.words {
@@ -174,4 +190,68 @@ func (s *Set) Max() int {
 		}
 	}
 	return -1
+}
+
+// Word-parallel row operations. The bulk evaluation backend works on raw
+// []uint64 rows — lane-words indexed by node, or node bitmaps — sixty-four
+// bits at a time; these helpers are the shared kernels, defined here so the
+// bitset package owns (and tests) all word-level bit manipulation. A shorter
+// operand is treated as zero-extended; dst is never grown.
+
+// OrInto ors src into dst word by word and returns the number of bits the
+// operation newly set (popcount of src &^ dst, accumulated before writing).
+// Words of src beyond len(dst) are ignored.
+func OrInto(dst, src []uint64) int {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	added := 0
+	for i, w := range src {
+		if nw := w &^ dst[i]; nw != 0 {
+			added += bits.OnesCount64(nw)
+			dst[i] |= nw
+		}
+	}
+	return added
+}
+
+// AndNotInto sets dst[i] = a[i] &^ b[i] and reports whether any result word
+// is non-zero. dst and a must have the same length (dst may alias a); words
+// of b beyond len(a) are ignored, missing words of b are zero.
+func AndNotInto(dst, a, b []uint64) bool {
+	if len(a) > 0 {
+		_ = dst[len(a)-1]
+	}
+	nonzero := false
+	for i, w := range a {
+		if i < len(b) {
+			w &^= b[i]
+		}
+		dst[i] = w
+		nonzero = nonzero || w != 0
+	}
+	return nonzero
+}
+
+// Count returns the total popcount of the row.
+func Count(row []uint64) int {
+	n := 0
+	for _, w := range row {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// EachBit calls fn for each set bit of the row in ascending order until fn
+// returns false.
+func EachBit(row []uint64, fn func(i int) bool) {
+	for wi, w := range row {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
 }

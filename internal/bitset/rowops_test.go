@@ -1,0 +1,160 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Naive references for the word-parallel row kernels: bit-at-a-time loops
+// whose correctness is obvious. The randomized tests below require the real
+// kernels to agree with these on every seeded input.
+
+func refOrInto(dst, src []uint64) ([]uint64, int) {
+	out := append([]uint64(nil), dst...)
+	added := 0
+	for i := 0; i < len(out)*wordBits; i++ {
+		w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+		if w < len(src) && src[w]&m != 0 && out[w]&m == 0 {
+			out[w] |= m
+			added++
+		}
+	}
+	return out, added
+}
+
+func refAndNot(a, b []uint64) ([]uint64, bool) {
+	out := make([]uint64, len(a))
+	nonzero := false
+	for i := 0; i < len(a)*wordBits; i++ {
+		w, m := i/wordBits, uint64(1)<<uint(i%wordBits)
+		inB := w < len(b) && b[w]&m != 0
+		if a[w]&m != 0 && !inB {
+			out[w] |= m
+			nonzero = true
+		}
+	}
+	return out, nonzero
+}
+
+func randRow(rng *rand.Rand, n int) []uint64 {
+	row := make([]uint64, n)
+	for i := range row {
+		switch rng.Intn(4) {
+		case 0: // leave zero — sparse rows are the common case in BFS
+		case 1:
+			row[i] = rng.Uint64()
+		case 2:
+			row[i] = 1 << uint(rng.Intn(wordBits)) // single bit
+		case 3:
+			row[i] = ^uint64(0) // saturated word
+		}
+	}
+	return row
+}
+
+func TestOrIntoAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nd := 1 + rng.Intn(6)
+		ns := 1 + rng.Intn(8) // may exceed len(dst): extra words must be ignored
+		dst := randRow(rng, nd)
+		src := randRow(rng, ns)
+		wantRow, wantAdded := refOrInto(dst, src)
+		got := append([]uint64(nil), dst...)
+		added := OrInto(got, src)
+		if added != wantAdded {
+			t.Fatalf("trial %d: OrInto added %d, reference %d", trial, added, wantAdded)
+		}
+		for i := range got {
+			if got[i] != wantRow[i] {
+				t.Fatalf("trial %d: word %d = %#x, reference %#x", trial, i, got[i], wantRow[i])
+			}
+		}
+	}
+}
+
+func TestAndNotIntoAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		na := 1 + rng.Intn(6)
+		nb := rng.Intn(8) // shorter, equal, or longer than a
+		a := randRow(rng, na)
+		b := randRow(rng, nb)
+		wantRow, wantNZ := refAndNot(a, b)
+		dst := make([]uint64, na)
+		nz := AndNotInto(dst, a, b)
+		if nz != wantNZ {
+			t.Fatalf("trial %d: nonzero = %v, reference %v", trial, nz, wantNZ)
+		}
+		for i := range dst {
+			if dst[i] != wantRow[i] {
+				t.Fatalf("trial %d: word %d = %#x, reference %#x", trial, i, dst[i], wantRow[i])
+			}
+		}
+		// Aliased form dst == a must produce the same row.
+		aliased := append([]uint64(nil), a...)
+		AndNotInto(aliased, aliased, b)
+		for i := range aliased {
+			if aliased[i] != wantRow[i] {
+				t.Fatalf("trial %d aliased: word %d = %#x, reference %#x", trial, i, aliased[i], wantRow[i])
+			}
+		}
+	}
+}
+
+func TestCountAndEachBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		row := randRow(rng, 1+rng.Intn(8))
+		var bits []int
+		for i := 0; i < len(row)*wordBits; i++ {
+			if row[i/wordBits]&(1<<uint(i%wordBits)) != 0 {
+				bits = append(bits, i)
+			}
+		}
+		if got := Count(row); got != len(bits) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, len(bits))
+		}
+		var seen []int
+		EachBit(row, func(i int) bool { seen = append(seen, i); return true })
+		if len(seen) != len(bits) {
+			t.Fatalf("trial %d: EachBit yielded %d bits, want %d", trial, len(seen), len(bits))
+		}
+		for i := range seen {
+			if seen[i] != bits[i] {
+				t.Fatalf("trial %d: EachBit[%d] = %d, want %d (ascending order)", trial, i, seen[i], bits[i])
+			}
+		}
+	}
+}
+
+func TestEachBitEarlyStop(t *testing.T) {
+	row := []uint64{0b1011, 1}
+	var seen []int
+	EachBit(row, func(i int) bool { seen = append(seen, i); return len(seen) < 2 })
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Fatalf("EachBit early stop visited %v, want [0 1]", seen)
+	}
+}
+
+func TestBytesTracksCapacity(t *testing.T) {
+	s := New(256)
+	if got, want := s.Bytes(), int64(4*8+setOverheadBytes); got != want {
+		t.Fatalf("New(256).Bytes() = %d, want %d", got, want)
+	}
+	before := s.Bytes()
+	s.Add(100) // within capacity: footprint unchanged
+	if s.Bytes() != before {
+		t.Fatalf("Bytes changed on in-capacity Add: %d -> %d", before, s.Bytes())
+	}
+	s.Add(1024) // forces growth to 17 words minimum
+	if s.Bytes() < int64(17*8+setOverheadBytes) {
+		t.Fatalf("Bytes() = %d after growth, want >= %d", s.Bytes(), 17*8+setOverheadBytes)
+	}
+	// Footprint is capacity-based: clearing does not release it.
+	grown := s.Bytes()
+	s.Clear()
+	if s.Bytes() != grown {
+		t.Fatalf("Bytes() = %d after Clear, want unchanged %d", s.Bytes(), grown)
+	}
+}

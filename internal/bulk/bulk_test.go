@@ -1,0 +1,384 @@
+package bulk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"omega/internal/automaton"
+	"omega/internal/graph"
+	"omega/internal/rpq"
+)
+
+func buildGraph(t testing.TB, triples [][3]string) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, tr := range triples {
+		if err := b.AddTriple(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Freeze()
+}
+
+func compileExpr(t testing.TB, g *graph.Graph, expr string) *automaton.Compiled {
+	t.Helper()
+	aut, err := automaton.Build(rpq.MustParse(expr), g, nil, automaton.BuildOptions{Mode: automaton.Exact})
+	if err != nil {
+		t.Fatalf("Build(%q): %v", expr, err)
+	}
+	return aut
+}
+
+// refPairs is the naive reference: for each source, a scalar BFS over the
+// (state, node) product using exactly the Compiled transition semantics (Sym
+// label lists, Any over every label, Out/In/Both directions, landing-node
+// targets), collecting destinations at final states subject to ann.
+func refPairs(g *graph.Graph, aut *automaton.Compiled, seeds []graph.NodeID, ann []graph.NodeID) []Pair {
+	var annSet map[graph.NodeID]bool
+	if ann != nil {
+		annSet = map[graph.NodeID]bool{}
+		for _, n := range ann {
+			annSet[n] = true
+		}
+	}
+	type pn struct {
+		s int32
+		n graph.NodeID
+	}
+	var out []Pair
+	for _, src := range seeds {
+		visited := map[pn]bool{}
+		queue := []pn{{aut.Start, src}}
+		visited[queue[0]] = true
+		dsts := map[graph.NodeID]bool{}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if _, final := aut.IsFinal(cur.s); final {
+				if annSet == nil || annSet[cur.n] {
+					dsts[cur.n] = true
+				}
+			}
+			for _, tr := range aut.NextStates(cur.s) {
+				labels := tr.Labels
+				if tr.Kind == automaton.Any {
+					labels = nil
+					for l := 0; l < g.NumLabels(); l++ {
+						labels = append(labels, graph.LabelID(l))
+					}
+				}
+				dirs := []graph.Direction{tr.Dir}
+				if tr.Dir == graph.Both {
+					dirs = []graph.Direction{graph.Out, graph.In}
+				}
+				for _, l := range labels {
+					for _, dir := range dirs {
+						for _, m := range g.Neighbors(cur.n, l, dir) {
+							if tr.Target != graph.InvalidNode && m != tr.Target {
+								continue
+							}
+							nxt := pn{tr.To, m}
+							if !visited[nxt] {
+								visited[nxt] = true
+								queue = append(queue, nxt)
+							}
+						}
+					}
+				}
+			}
+		}
+		for d := range dsts {
+			out = append(out, Pair{Src: src, Dst: d})
+		}
+	}
+	return out
+}
+
+// runAll drains every block of a fresh Run over ix.
+func runAll(t testing.TB, ix *Index) ([]Pair, Stats) {
+	t.Helper()
+	r := NewRun(ix)
+	var all []Pair
+	for {
+		pairs, ok, err := r.NextBlock()
+		if err != nil {
+			t.Fatalf("NextBlock: %v", err)
+		}
+		if !ok {
+			return all, r.Stats
+		}
+		all = append(all, pairs...)
+	}
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Src != ps[j].Src {
+			return ps[i].Src < ps[j].Src
+		}
+		return ps[i].Dst < ps[j].Dst
+	})
+}
+
+func requirePairs(t *testing.T, label string, got, want []Pair) {
+	t.Helper()
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, reference %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %v, reference %v", label, i, got[i], want[i])
+		}
+	}
+	// The engine contract is set semantics: no pair may appear twice.
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatalf("%s: duplicate pair %v", label, got[i])
+		}
+	}
+}
+
+var diamond = [][3]string{
+	{"a", "p", "b"}, {"a", "p", "c"}, {"b", "p", "d"}, {"c", "p", "d"},
+	{"d", "q", "e"}, {"e", "p", "a"}, // cycle back through q.p
+	{"f", "p", "f"}, // self-loop
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	g := buildGraph(t, diamond)
+	exprs := []string{
+		"p",        // single step
+		"p+",       // closure over a diamond with a cycle and a self-loop
+		"p*",       // start-final: reflexive (v, v) pairs for every node
+		"p.q",      // concatenation
+		"p-",       // inverse
+		"(p|q)+",   // alternation under closure
+		"p+.q",     // closure then step
+		"q-.p-",    // inverse concatenation
+		"(p.q)*|q", // start-final alternation
+	}
+	for _, expr := range exprs {
+		aut := compileExpr(t, g, expr)
+		ix := NewIndex(g, aut, nil, nil)
+		got, stats := runAll(t, ix)
+		want := refPairs(g, aut, ix.Seeds(), nil)
+		requirePairs(t, fmt.Sprintf("%q case 3", expr), got, want)
+		if stats.Blocks != ix.Blocks() {
+			t.Errorf("%q: Stats.Blocks = %d, want %d", expr, stats.Blocks, ix.Blocks())
+		}
+		if stats.Pairs != int64(len(got)) {
+			t.Errorf("%q: Stats.Pairs = %d, emitted %d", expr, stats.Pairs, len(got))
+		}
+
+		// Case 1: an explicit seed subset must restrict sources exactly.
+		seeds := ix.Seeds()
+		sub := append([]graph.NodeID(nil), seeds[:(len(seeds)+1)/2]...)
+		sub = append(sub, sub...) // duplicates must be de-duplicated
+		ix1 := NewIndex(g, aut, sub, nil)
+		got1, _ := runAll(t, ix1)
+		requirePairs(t, fmt.Sprintf("%q case 1", expr), got1, refPairs(g, aut, ix1.Seeds(), nil))
+	}
+}
+
+func TestAnnotationRestrictsDestinations(t *testing.T) {
+	g := buildGraph(t, diamond)
+	aut := compileExpr(t, g, "p+")
+	d, ok := g.LookupNode("d")
+	if !ok {
+		t.Fatal("node d missing")
+	}
+	ann := []graph.NodeID{d}
+	ix := NewIndex(g, aut, nil, ann)
+	got, _ := runAll(t, ix)
+	want := refPairs(g, aut, ix.Seeds(), ann)
+	requirePairs(t, "p+ ann={d}", got, want)
+	for _, p := range got {
+		if p.Dst != d {
+			t.Fatalf("annotation violated: emitted %v", p)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("annotation filtered everything; want the p+ pairs ending at d")
+	}
+}
+
+// TestHandBuiltAutomaton covers transition shapes the Exact surface syntax
+// cannot produce: Any-kind transitions (every label), Both-direction edges,
+// and a landing-node Target constraint.
+func TestHandBuiltAutomaton(t *testing.T) {
+	g := buildGraph(t, diamond)
+	d, _ := g.LookupNode("d")
+	cases := []struct {
+		name string
+		aut  *automaton.Compiled
+	}{
+		{"any", &automaton.Compiled{
+			NumStates:   2,
+			Start:       0,
+			FinalWeight: []int32{-1, 0},
+			States: [][]automaton.CTrans{
+				{{Kind: automaton.Any, Dir: graph.Out, To: 1, Target: graph.InvalidNode}},
+				{},
+			},
+		}},
+		{"both-dir", &automaton.Compiled{
+			NumStates:   2,
+			Start:       0,
+			FinalWeight: []int32{-1, 0},
+			States: [][]automaton.CTrans{
+				{{Kind: automaton.Sym, Dir: graph.Both, Labels: labelIDs(t, g, "p"), To: 1, Target: graph.InvalidNode}},
+				{},
+			},
+		}},
+		{"target", &automaton.Compiled{
+			NumStates:   2,
+			Start:       0,
+			FinalWeight: []int32{-1, 0},
+			States: [][]automaton.CTrans{
+				{{Kind: automaton.Sym, Dir: graph.Out, Labels: labelIDs(t, g, "p"), To: 1, Target: d}},
+				{},
+			},
+		}},
+	}
+	for _, tc := range cases {
+		if !Eligible(tc.aut) {
+			t.Fatalf("%s: hand-built zero-cost automaton reported ineligible", tc.name)
+		}
+		ix := NewIndex(g, tc.aut, nil, nil)
+		got, _ := runAll(t, ix)
+		requirePairs(t, tc.name, got, refPairs(g, tc.aut, ix.Seeds(), nil))
+	}
+}
+
+func labelIDs(t testing.TB, g *graph.Graph, names ...string) []graph.LabelID {
+	t.Helper()
+	out := make([]graph.LabelID, 0, len(names))
+	for _, name := range names {
+		l, ok := g.Label(name)
+		if !ok {
+			t.Fatalf("label %q not in graph", name)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func TestEligible(t *testing.T) {
+	g := buildGraph(t, diamond)
+	if !Eligible(compileExpr(t, g, "p+.q")) {
+		t.Error("exact automaton reported ineligible")
+	}
+	approx, err := automaton.Build(rpq.MustParse("p.q"), g, nil, automaton.BuildOptions{
+		Mode: automaton.Approx,
+		Edit: automaton.EditCosts{Insert: 1, Delete: 1, Substitute: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Eligible(approx) {
+		t.Error("APPROX automaton (non-zero costs) reported eligible")
+	}
+}
+
+// TestMultiBlock drives >64 sources so the run crosses lane-block boundaries:
+// a star of spokes all reaching one hub, plus per-spoke private tails.
+func TestMultiBlock(t *testing.T) {
+	const spokes = 200
+	var triples [][3]string
+	for i := 0; i < spokes; i++ {
+		triples = append(triples,
+			[3]string{fmt.Sprintf("s%d", i), "p", "hub"},
+			[3]string{fmt.Sprintf("s%d", i), "p", fmt.Sprintf("t%d", i)},
+		)
+	}
+	triples = append(triples, [3]string{"hub", "p", "sink"})
+	g := buildGraph(t, triples)
+	aut := compileExpr(t, g, "p+")
+	ix := NewIndex(g, aut, nil, nil)
+	if ix.Blocks() < 3 {
+		t.Fatalf("Blocks() = %d, want >= 3 (population %d)", ix.Blocks(), len(ix.Seeds()))
+	}
+	got, stats := runAll(t, ix)
+	requirePairs(t, "multi-block p+", got, refPairs(g, aut, ix.Seeds(), nil))
+	if stats.Blocks != ix.Blocks() {
+		t.Errorf("Stats.Blocks = %d, want %d", stats.Blocks, ix.Blocks())
+	}
+	if stats.Levels == 0 || stats.Frontier == 0 || stats.Neighbor == 0 || stats.Added == 0 {
+		t.Errorf("zero counters in %+v", stats)
+	}
+}
+
+func TestOnStepAbortsRun(t *testing.T) {
+	g := buildGraph(t, diamond)
+	ix := NewIndex(g, compileExpr(t, g, "p+"), nil, nil)
+	boom := errors.New("boom")
+	r := NewRun(ix)
+	calls := 0
+	r.OnStep = func(resident int64, added int) error {
+		calls++
+		if resident <= 0 {
+			t.Fatalf("OnStep resident = %d, want > 0", resident)
+		}
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	}
+	_, _, err := r.NextBlock()
+	if !errors.Is(err, boom) {
+		t.Fatalf("NextBlock error = %v, want %v", err, boom)
+	}
+}
+
+func TestRunBytesAccounting(t *testing.T) {
+	g := buildGraph(t, diamond)
+	ix := NewIndex(g, compileExpr(t, g, "p+"), nil, nil)
+	if ix.Bytes() <= 0 {
+		t.Fatalf("Index.Bytes() = %d, want > 0 (masks + seeds)", ix.Bytes())
+	}
+	r := NewRun(ix)
+	base := r.Bytes()
+	ns := int64(2) // p+ compiles to 2 states
+	if min := 3 * ns * int64(g.NumNodes()) * 8; base < min {
+		t.Fatalf("fresh Run.Bytes() = %d, want >= %d (lane-word matrices)", base, min)
+	}
+	if _, _, err := r.NextBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() < base {
+		t.Fatalf("Run.Bytes() shrank after a block: %d -> %d", base, r.Bytes())
+	}
+}
+
+// TestRandomDifferential fuzzes the engine against the scalar reference over
+// seeded random graphs and a pool of expression shapes.
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	exprs := []string{"p", "q", "p+", "q*", "p.q", "p-.q", "(p|q)+", "p*.q-", "(p-|q)+", "p.p.q*"}
+	for trial := 0; trial < 25; trial++ {
+		nodes := 20 + rng.Intn(80)
+		edges := nodes * (1 + rng.Intn(4))
+		b := graph.NewBuilder()
+		for i := 0; i < edges; i++ {
+			l := "p"
+			if rng.Intn(2) == 0 {
+				l = "q"
+			}
+			if err := b.AddTriple(
+				fmt.Sprintf("n%d", rng.Intn(nodes)), l, fmt.Sprintf("n%d", rng.Intn(nodes))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := b.Freeze()
+		expr := exprs[rng.Intn(len(exprs))]
+		aut := compileExpr(t, g, expr)
+		ix := NewIndex(g, aut, nil, nil)
+		got, _ := runAll(t, ix)
+		requirePairs(t, fmt.Sprintf("trial %d %q", trial, expr), got, refPairs(g, aut, ix.Seeds(), nil))
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"omega/internal/bulk"
+	"omega/internal/dstruct"
+	"omega/internal/fault"
+)
+
+// fpBulkStep fires once per bulk BFS level (and once per block seeding); it
+// is the bulk backend's counterpart of core.row in the chaos suite.
+const fpBulkStep = "bulk.step"
+
+// bulkIterator adapts a bulk.Run to the conjunct Iterator contract: answers
+// stream block by block, all at distance 0 (eligibility guarantees it), in
+// the engine's deterministic block/destination/lane order. The plan's bulk
+// index is built lazily on first use and cached, so repeated executions of a
+// PreparedQuery share it; the per-run lane-word matrices are private to this
+// iterator and accounted into the execution's memory gauge.
+type bulkIterator struct {
+	plan *conjunctPlan
+	opts *Options
+	ctx  context.Context // nil when not cancelable (see watchable)
+
+	autIdx int
+	run    *bulk.Run
+	seen   *dstruct.U64Set // pair de-dup across alternands; nil for one automaton
+
+	pairs []bulk.Pair // current block, emitted in place (single automaton)
+	pi    int
+	buf   []Answer // current block after seen-filtering (multi-automaton)
+	bi    int
+
+	tuples  int   // product lane-bits set, against Options.MaxTuples
+	lastMem int64 // bytes currently accounted into the gauge
+
+	acc      bulk.Stats // completed runs
+	failed   error
+	done     bool
+	released bool
+}
+
+func newBulkIterator(ctx context.Context, p *conjunctPlan, opts *Options) *bulkIterator {
+	b := &bulkIterator{plan: p, opts: opts, ctx: ctx}
+	if len(p.auts) > 1 {
+		b.seen = dstruct.NewU64Set()
+	}
+	return b
+}
+
+// Next implements Iterator with the sticky-error contract of the ranked
+// evaluators: after an error or exhaustion, further calls keep reporting it.
+func (b *bulkIterator) Next() (Answer, bool, error) {
+	for {
+		if b.failed != nil {
+			return Answer{}, false, b.failed
+		}
+		if b.pi < len(b.pairs) {
+			p := b.pairs[b.pi]
+			b.pi++
+			return Answer{Src: p.Src, Dst: p.Dst}, true, nil
+		}
+		if b.bi < len(b.buf) {
+			a := b.buf[b.bi]
+			b.bi++
+			return a, true, nil
+		}
+		if b.done {
+			return Answer{}, false, nil
+		}
+		if b.run == nil {
+			b.run = bulk.NewRun(b.plan.bulkIndex(b.autIdx))
+			b.run.OnStep = b.onStep
+		}
+		pairs, ok, err := b.run.NextBlock()
+		if err != nil {
+			b.fail(err)
+			return Answer{}, false, b.failed
+		}
+		if !ok {
+			// This automaton is exhausted; fold its counters and move on.
+			b.accumulate()
+			b.autIdx++
+			if b.autIdx >= len(b.plan.auts) {
+				b.done = true
+				b.release()
+				return Answer{}, false, nil
+			}
+			continue
+		}
+		if b.seen == nil {
+			// Single automaton: pairs are already globally distinct, so the
+			// block is emitted straight out of the run's buffer (valid until
+			// the next NextBlock call, which only happens after it drains).
+			b.pairs, b.pi = pairs, 0
+			continue
+		}
+		b.buf = b.buf[:0]
+		b.bi = 0
+		for _, p := range pairs {
+			if !b.seen.Add(packPair(p.Src, p.Dst)) {
+				continue
+			}
+			b.buf = append(b.buf, Answer{Src: p.Src, Dst: p.Dst})
+		}
+	}
+}
+
+// onStep is the governance hook the run invokes per BFS level: tuple budget,
+// cancellation, the bulk.step and mem.hard failpoints, and the memory
+// watermarks. The soft watermark is a no-op here — the bulk structures have
+// no disk path, so only the hard watermark protects them (consistently with
+// the plain in-memory D_R).
+func (b *bulkIterator) onStep(resident int64, added int) error {
+	b.tuples += added
+	if b.opts.MaxTuples > 0 && b.tuples > b.opts.MaxTuples {
+		return ErrTupleBudget
+	}
+	if b.ctx != nil {
+		if b.ctx.Err() != nil {
+			return ctxDoneErr(b.ctx)
+		}
+	}
+	if fault.Enabled() {
+		if err := fault.Inject(fpBulkStep); err != nil {
+			return fmt.Errorf("bulk step: %w", err)
+		}
+		if err := fault.Inject(fpMemHard); err != nil {
+			return fmt.Errorf("%w: %w", ErrMemBudget, err)
+		}
+	}
+	if m := b.opts.mem; m != nil {
+		res := resident + b.plan.bulkIndex(b.autIdx).Bytes()
+		if d := res - b.lastMem; d != 0 {
+			m.add(d)
+			b.lastMem = res
+		}
+		if live := m.LiveBytes(); m.hard > 0 && live > m.hard {
+			return fmt.Errorf("%w: %d live bytes over hard watermark %d", ErrMemBudget, live, m.hard)
+		}
+	}
+	return nil
+}
+
+func (b *bulkIterator) accumulate() {
+	if b.run == nil {
+		return
+	}
+	s := b.run.Stats
+	b.acc.Added += s.Added
+	b.acc.Frontier += s.Frontier
+	b.acc.Neighbor += s.Neighbor
+	b.acc.Levels += s.Levels
+	b.acc.Blocks += s.Blocks
+	b.acc.Pairs += s.Pairs
+	b.run = nil
+}
+
+func (b *bulkIterator) fail(err error) {
+	if b.failed == nil {
+		b.failed = err
+	}
+	b.release()
+}
+
+// release hands accounted bytes back to the gauge and drops the run
+// structures. Bulk state is never pooled, so there is nothing to poison.
+func (b *bulkIterator) release() {
+	if b.released {
+		return
+	}
+	b.released = true
+	b.accumulate()
+	if m := b.opts.mem; m != nil && b.lastMem != 0 {
+		m.add(-b.lastMem)
+		b.lastMem = 0
+	}
+	b.pairs = nil
+	b.pi = 0
+	b.buf = nil
+	b.bi = 0
+}
+
+// Close implements the resource-release contract; subsequent Next calls
+// report exhaustion (the Execution layer maps Close to ErrClosed).
+func (b *bulkIterator) Close() error {
+	b.done = true
+	b.release()
+	return nil
+}
+
+// Abort implements aborter: err becomes the iterator's sticky error.
+func (b *bulkIterator) Abort(err error) {
+	if b.failed == nil {
+		b.failed = err
+	}
+	b.done = true
+	b.release()
+}
+
+// Stats implements StatsReporter, mapping the bulk counters onto the shared
+// schema: Added plays TuplesAdded (product lane-bits set, the direct analogue
+// of D_R insertions), Frontier plays TuplesPopped (rows expanded).
+func (b *bulkIterator) Stats() Stats {
+	acc := b.acc
+	if b.run != nil {
+		s := b.run.Stats
+		acc.Added += s.Added
+		acc.Frontier += s.Frontier
+		acc.Neighbor += s.Neighbor
+		acc.Levels += s.Levels
+		acc.Blocks += s.Blocks
+		acc.Pairs += s.Pairs
+	}
+	st := Stats{
+		TuplesAdded:   int(acc.Added),
+		TuplesPopped:  int(acc.Frontier),
+		VisitedSize:   int(acc.Added),
+		Phases:        1,
+		NeighborCalls: int(acc.Neighbor),
+		Backend:       "bulk",
+	}
+	if m := b.opts.mem; m != nil {
+		st.MemPeakBytes = m.PeakBytes()
+	}
+	return st
+}

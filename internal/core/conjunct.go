@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"omega/internal/automaton"
 	"omega/internal/bitset"
+	"omega/internal/bulk"
 	"omega/internal/graph"
 	"omega/internal/ontology"
 	"omega/internal/rpq"
@@ -18,11 +20,12 @@ func packPair(v, n graph.NodeID) uint64 {
 // conjunctPlan is the reusable, immutable part of conjunct initialisation:
 // compiled automata (one per alternand when decomposing, else a single
 // automaton for the whole expression), Case 1 seeds, and the final-state
-// annotation. A plan is read-only after planConjunct returns, so any number
-// of concurrent executions may instantiate evaluators from it — that is what
-// makes a PreparedQuery goroutine-shareable. Evaluators are cheap to spin up
-// from a plan, which is also what the disjunction strategy and the
-// restart-based distance-aware reference need.
+// annotation. A plan is read-only after planConjunct returns — except for the
+// mutex-guarded lazy bulk-index cache, mirroring Prepared's variant cache —
+// so any number of concurrent executions may instantiate evaluators from it;
+// that is what makes a PreparedQuery goroutine-shareable. Evaluators are
+// cheap to spin up from a plan, which is also what the disjunction strategy
+// and the restart-based distance-aware reference need.
 type conjunctPlan struct {
 	g    *graph.Graph
 	ont  *ontology.Ontology
@@ -39,6 +42,25 @@ type conjunctPlan struct {
 
 	swapped bool // Case 2: (?X,R,C) evaluated as (C,R−,?X)
 	sameVar bool // (?X,R,?X): keep only answers with Src == Dst
+
+	bulkMu sync.Mutex
+	bulkIx []*bulk.Index // lazily built per automaton, shared by executions
+}
+
+// bulkIndex returns (building and caching on first use) the bulk backend's
+// index for automaton autIdx: per-transition source bitmaps, the seed
+// population and the final annotation. The index is immutable once built, so
+// concurrent executions share one copy per prepared plan.
+func (p *conjunctPlan) bulkIndex(autIdx int) *bulk.Index {
+	p.bulkMu.Lock()
+	defer p.bulkMu.Unlock()
+	if p.bulkIx == nil {
+		p.bulkIx = make([]*bulk.Index, len(p.auts))
+	}
+	if p.bulkIx[autIdx] == nil {
+		p.bulkIx[autIdx] = bulk.NewIndex(p.g, p.auts[autIdx], p.bulkSeeds(), p.bulkAnn())
+	}
+	return p.bulkIx[autIdx]
 }
 
 // planConjunct implements the case analysis of Open (§3.3).
@@ -188,35 +210,44 @@ func (ev *evaluator) streamSeen() *bitset.Set {
 // Open minus everything already compiled into the plan. ctx (possibly nil)
 // cancels the run; opts carries the run's options and must outlive the
 // iterator; maxDist > 0 additionally caps the distance-aware ψ stepping (a
-// per-exec MaxDist can never need answers beyond itself).
-func (p *conjunctPlan) open(ctx context.Context, opts *Options, maxDist int32) Iterator {
+// per-exec MaxDist can never need answers beyond itself). backend selects the
+// evaluation engine — callers resolve it through chooseBackend, so a
+// BackendBulk here is already known eligible.
+func (p *conjunctPlan) open(ctx context.Context, opts *Options, maxDist int32, backend Backend) Iterator {
 	ctx = watchable(ctx)
 	if !p.case3 && len(p.seeds) == 0 {
 		// The constant subject (after any Case 2 swap) names no node.
 		return emptyIterator{}
 	}
 
-	phi := opts.phi(p.mode)
-	maxPsi := opts.MaxPsi
-	if maxPsi <= 0 {
-		maxPsi = 16 * phi
-	}
-	if maxDist > 0 && maxDist < maxPsi {
-		maxPsi = maxDist
-	}
-
 	var it Iterator
-	switch {
-	case p.decompose:
-		it = newDisjunction(ctx, p, opts, phi, maxPsi)
-	case opts.DistanceAware && p.mode != automaton.Exact:
-		if opts.DistanceRestart {
-			it = newRestartDistanceAware(func(psi int32) *evaluator { return p.newEvaluator(ctx, opts, 0, psi) }, phi, maxPsi)
-		} else {
-			it = newDistanceAware(p.newEvaluator(ctx, opts, 0, 0), phi, maxPsi)
+	if backend == BackendBulk {
+		// Set-semantics engine: every answer is at distance 0, so the
+		// distance-aware and disjunction phase drivers have nothing to order;
+		// alternands are evaluated sequentially inside the iterator.
+		it = newBulkIterator(ctx, p, opts)
+	} else {
+		phi := opts.phi(p.mode)
+		maxPsi := opts.MaxPsi
+		if maxPsi <= 0 {
+			maxPsi = 16 * phi
 		}
-	default:
-		it = p.newEvaluator(ctx, opts, 0, -1)
+		if maxDist > 0 && maxDist < maxPsi {
+			maxPsi = maxDist
+		}
+
+		switch {
+		case p.decompose:
+			it = newDisjunction(ctx, p, opts, phi, maxPsi)
+		case opts.DistanceAware && p.mode != automaton.Exact:
+			if opts.DistanceRestart {
+				it = newRestartDistanceAware(func(psi int32) *evaluator { return p.newEvaluator(ctx, opts, 0, psi) }, phi, maxPsi)
+			} else {
+				it = newDistanceAware(p.newEvaluator(ctx, opts, 0, 0), phi, maxPsi)
+			}
+		default:
+			it = p.newEvaluator(ctx, opts, 0, -1)
+		}
 	}
 	if p.sameVar {
 		it = sameVarIterator{it}
@@ -376,12 +407,16 @@ func compileConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Op
 // OpenConjunct initialises evaluation of a single conjunct (the paper's Open
 // procedure) and returns an iterator over its answers in non-decreasing
 // distance from the original conjunct. It is compileConjunct + open in one
-// shot; prepared queries split the two so Exec skips compilation.
+// shot; prepared queries split the two so Exec skips compilation. The ranked
+// machinery is used unless Options.Backend forces bulk (automatic backend
+// selection belongs to the execution layer, which knows whether the run is
+// exhaustive).
 func OpenConjunct(g *graph.Graph, ont *ontology.Ontology, c Conjunct, opts Options) (Iterator, error) {
 	opts = opts.withDefaults()
 	plan, err := compileConjunct(g, ont, c, opts)
 	if err != nil {
 		return nil, err
 	}
-	return plan.open(nil, &opts, 0), nil
+	dec := plan.chooseBackend(opts.Backend, false)
+	return plan.open(nil, &opts, 0, dec.backend), nil
 }

@@ -264,6 +264,15 @@ type Options struct {
 	// configurations whose state is not recyclable (SpillThreshold > 0,
 	// RefDict). ExecOptions.Pool overrides it per execution.
 	Pool *EvalPool
+	// Backend is the engine-level default evaluation backend: BackendAuto
+	// (zero value) lets the planner pick per conjunct — the bulk
+	// set-semantics engine for exhaustive zero-cost exact scans with a
+	// corpus-scale seed population, ranked GetNext otherwise — while
+	// BackendRanked/BackendBulk pin the choice. ExecOptions.Backend
+	// overrides it per execution. Both backends return identical answer
+	// sets for eligible queries; only the (distance-0) emission order
+	// differs.
+	Backend Backend
 
 	// mem is the per-execution memory gauge, set by Prepared.Exec from
 	// ExecOptions (never by engine-level configuration: watermarks are a
@@ -339,6 +348,10 @@ type Stats struct {
 	// execution crossed SoftMemBytes and reacted by arming or tightening disk
 	// spilling on its deferred frontier or spill dictionary.
 	SpillEscalations int
+	// Backend names the evaluation engine(s) the execution ran on: "ranked",
+	// "bulk", or "mixed" when a multi-conjunct execution split. Empty from
+	// iterators below the execution layer that predate backend selection.
+	Backend string
 }
 
 // StatsReporter is implemented by iterators that can report Stats.

@@ -101,6 +101,22 @@ func ExplainQuery(g *graph.Graph, ont *ontology.Ontology, q *Query, opts Options
 		if len(strategies) > 0 {
 			fmt.Fprintf(&b, "  strategies: %s\n", strings.Join(strategies, ", "))
 		}
+		// Backend choice, assuming an exhaustive execution (per-request Limit
+		// or MaxDist forces ranked streaming regardless of the plan).
+		dec := plan.chooseBackend(opts.Backend, true)
+		name := "ranked GetNext"
+		if dec.backend == BackendBulk {
+			name = "bulk set-semantics"
+		}
+		mode := "auto"
+		if opts.Backend != BackendAuto {
+			mode = "pinned"
+		}
+		fmt.Fprintf(&b, "  backend: %s (%s: %s)\n", name, mode, dec.reason)
+		if dec.estRanked > 0 {
+			fmt.Fprintf(&b, "  backend cost model: S=%d seeds, E=%d matched edges; est ranked %d edge visits vs bulk %d word ops\n",
+				dec.seeds, dec.edges, dec.estRanked, dec.estBulk)
+		}
 	}
 	return b.String(), nil
 }

@@ -100,11 +100,14 @@ func (d *projDedup) add(nodes []graph.NodeID) bool {
 // single-conjunct queries — the whole of the paper's performance study —
 // stream answers with no buffering. Projections that collapse answers (e.g.
 // head (?X) over conjunct (?X,R,?Y)) are de-duplicated, keeping the first
-// (minimum-distance) occurrence.
+// (minimum-distance) occurrence. dedup may be nil when the underlying
+// iterator already guarantees distinct rows (the bulk backend with an
+// injective projection).
 type singleConjunct struct {
 	q       *Query
 	it      Iterator
 	dedup   *projDedup
+	hmap    []uint8 // per head position: 0 = conjunct Src, 1 = Dst (built lazily)
 	scratch []graph.NodeID
 	chunk   []graph.NodeID // backing store for emitted rows, carved per answer
 }
@@ -124,8 +127,22 @@ func (s *singleConjunct) carve(w int) []graph.NodeID {
 }
 
 func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
-	c := s.q.Conjuncts[0]
-	if s.scratch == nil {
+	if s.hmap == nil {
+		// Resolve each head position to a conjunct endpoint once; the
+		// per-answer loop is then two indexed stores, not string compares.
+		c := s.q.Conjuncts[0]
+		hmap := make([]uint8, len(s.q.Head))
+		for i, h := range s.q.Head {
+			switch {
+			case c.Subject.IsVar && c.Subject.Name == h:
+				hmap[i] = 0
+			case c.Object.IsVar && c.Object.Name == h:
+				hmap[i] = 1
+			default:
+				return QueryAnswer{}, false, fmt.Errorf("core: head variable not bound by conjunct")
+			}
+		}
+		s.hmap = hmap
 		s.scratch = make([]graph.NodeID, len(s.q.Head))
 	}
 	for {
@@ -133,21 +150,14 @@ func (s *singleConjunct) Next() (QueryAnswer, bool, error) {
 		if !ok || err != nil {
 			return QueryAnswer{}, false, err
 		}
-		valid := true
-		for i, h := range s.q.Head {
-			switch {
-			case c.Subject.IsVar && c.Subject.Name == h:
+		for i, m := range s.hmap {
+			if m == 0 {
 				s.scratch[i] = a.Src
-			case c.Object.IsVar && c.Object.Name == h:
+			} else {
 				s.scratch[i] = a.Dst
-			default:
-				valid = false
 			}
 		}
-		if !valid {
-			return QueryAnswer{}, false, fmt.Errorf("core: head variable not bound by conjunct")
-		}
-		if !s.dedup.add(s.scratch) {
+		if s.dedup != nil && !s.dedup.add(s.scratch) {
 			continue
 		}
 		nodes := s.carve(len(s.scratch))
@@ -336,6 +346,11 @@ func aggregateStats(its []Iterator) Stats {
 		// peak, so max (not sum) is the execution-wide figure.
 		if cs.MemPeakBytes > s.MemPeakBytes {
 			s.MemPeakBytes = cs.MemPeakBytes
+		}
+		if s.Backend == "" {
+			s.Backend = cs.Backend
+		} else if cs.Backend != "" && cs.Backend != s.Backend {
+			s.Backend = "mixed"
 		}
 	}
 	return s

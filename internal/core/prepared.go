@@ -69,6 +69,15 @@ type ExecOptions struct {
 	// memory broker's victim selection. When nil, Exec creates a private
 	// gauge, so Stats.MemPeakBytes is always populated.
 	Mem *MemGauge
+	// Backend overrides Options.Backend for this execution: BackendAuto
+	// (zero value) inherits the engine-level default (itself auto unless
+	// pinned), BackendRanked/BackendBulk force the engine. Auto picks the
+	// bulk set-semantics backend only for exhaustive executions (Limit and
+	// MaxDist both zero) of zero-cost exact plans whose seed population
+	// makes the word-parallel scan pay; a forced BackendBulk falls back to
+	// ranked for conjuncts the bulk engine cannot evaluate (non-zero-cost
+	// plans). Stats.Backend reports what actually ran.
+	Backend Backend
 }
 
 // planSet is one fully compiled variant of a prepared query: the (possibly
@@ -237,14 +246,30 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	} else {
 		ex.opts.mem = NewMemGauge(eo.SoftMemBytes, eo.HardMemBytes)
 	}
+	// Backend selection: the per-execution request layered over the engine
+	// default, resolved per conjunct against the cost model. Only exhaustive
+	// executions (no Limit, no MaxDist) are auto-eligible for the bulk
+	// set-semantics engine — a limited execution wants streamed answers.
+	req := resolveBackend(eo.Backend, p.opts.Backend)
+	exhaustive := eo.Limit == 0 && eo.MaxDist == 0
 	ex.its = make([]Iterator, len(ps.plans))
+	ex.backends = make([]Backend, len(ps.plans))
 	for i, plan := range ps.plans {
-		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist)
+		dec := plan.chooseBackend(req, exhaustive)
+		ex.backends[i] = dec.backend
+		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist, dec.backend)
 	}
 	q := ps.q
 	switch {
 	case len(q.Conjuncts) == 1:
-		ex.join = &singleConjunct{q: q, it: ex.its[0], dedup: newProjDedup(len(q.Head))}
+		sc := &singleConjunct{q: q, it: ex.its[0]}
+		// The bulk backend emits set-distinct (Src, Dst) pairs; with an
+		// injective head projection the rows are already unique and the
+		// per-row dedup probe (a third of bulk's per-answer cost) is waste.
+		if ex.backends[0] != BackendBulk || !injectiveProjection(q) {
+			sc.dedup = newProjDedup(len(q.Head))
+		}
+		ex.join = sc
 	case p.opts.HashRankJoin:
 		hq, err := newHRJNQuery(q, ex.its)
 		if err != nil {
@@ -265,9 +290,10 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 type Execution struct {
 	opts Options // this run's options; evaluators hold a pointer into this field
 
-	its  []Iterator // conjunct-level iterators (the resource owners)
-	join QueryIterator
-	ctx  context.Context
+	its      []Iterator // conjunct-level iterators (the resource owners)
+	backends []Backend  // per-conjunct engine choice, for Stats.Backend
+	join     QueryIterator
+	ctx      context.Context
 
 	limit   int
 	maxDist int32
@@ -382,8 +408,10 @@ func (e *Execution) Abort(err error) {
 // (single-conjunct executions report full counters; the ranked joins do not
 // track per-conjunct stats, matching OpenQuery's historical behaviour).
 func (e *Execution) Stats() Stats {
+	var s Stats
 	if sr, ok := e.join.(StatsReporter); ok {
-		return sr.Stats()
+		s = sr.Stats()
 	}
-	return Stats{}
+	s.Backend = backendsLabel(e.backends)
+	return s
 }

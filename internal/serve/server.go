@@ -213,6 +213,9 @@ type statsLine struct {
 	// spill thresholds.
 	MemPeakBytes     int64 `json:"mem_peak_bytes,omitempty"`
 	SpillEscalations int   `json:"spill_escalations,omitempty"`
+	// Backend reports which evaluation engine ran: "ranked", "bulk", or
+	// "mixed" when a multi-conjunct plan split.
+	Backend string `json:"backend,omitempty"`
 }
 
 func toStatsLine(s omega.Stats) statsLine {
@@ -225,6 +228,7 @@ func toStatsLine(s omega.Stats) statsLine {
 		Reinjected:       s.Reinjected,
 		MemPeakBytes:     s.MemPeakBytes,
 		SpillEscalations: s.SpillEscalations,
+		Backend:          s.Backend,
 	}
 }
 
@@ -287,6 +291,7 @@ func parseBytesParam(r *http.Request, name string, def int64) (int64, error) {
 //	softmem  — soft memory watermark in bytes (degrade to disk spilling)
 //	hardmem  — hard memory watermark in bytes (abort with 507)
 //	timeout  — per-request deadline, Go duration syntax (e.g. 2s, 500ms)
+//	backend  — auto | ranked | bulk; evaluation engine (default auto)
 //
 // The response is application/x-ndjson: one JSON object per answer row, in
 // non-decreasing distance, flushed as produced, then a final object — either
@@ -327,6 +332,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		return
 	}
 	maxTuples, err := parseIntParam(r, "maxtuples")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	backend, err := omega.ParseBackend(r.FormValue("backend"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -401,6 +411,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		MaxTuples: maxTuples,
 		Pool:      s.pool,
 		Mem:       gauge,
+		Backend:   backend,
 	}
 
 	start := time.Now()
@@ -484,8 +495,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	_ = enc.Encode(doneLine{Done: true, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Degraded: degraded, Stats: toStatsLine(res.Stats)})
-	s.logf("serve: %d rows in %.1fms (popped=%d deferred=%d reinjected=%d phases=%d)",
-		res.Rows, float64(elapsed.Nanoseconds())/1e6,
+	s.logf("serve: %d rows in %.1fms (backend=%s popped=%d deferred=%d reinjected=%d phases=%d)",
+		res.Rows, float64(elapsed.Nanoseconds())/1e6, res.Stats.Backend,
 		res.Stats.TuplesPopped, res.Stats.Deferred, res.Stats.Reinjected, res.Stats.Phases)
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -352,5 +353,65 @@ func TestServerPoolAmortises(t *testing.T) {
 	}
 	if payload.Pool == nil || payload.Pool.Reuses == 0 {
 		t.Fatalf("pool never recycled state across requests: %+v", payload.Pool)
+	}
+}
+
+// TestServerBackendParameter covers the backend= knob end to end: an invalid
+// value is a 400, a forced bulk request answers the exact variable-subject
+// query with the same row set as forced ranked, and the done-line stats
+// report which engine ran.
+func TestServerBackendParameter(t *testing.T) {
+	_, ts := l4allServer(t, "", Config{Workers: 2, Queue: 4})
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/query?" + url.Values{"q": {spillQuery}, "backend": {"zigzag"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("backend=zigzag: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+
+	const bulkQuery = "(?X, ?Y) <- (?X, job.type, ?Y)"
+	fetch := func(backend string) ([]rowLine, *doneLine) {
+		t.Helper()
+		rows, done, status := ndjsonLines(t, client, ts.URL+"/query?"+url.Values{"q": {bulkQuery}, "backend": {backend}}.Encode())
+		if status != http.StatusOK || done == nil {
+			t.Fatalf("backend=%s: status %d, done %+v", backend, status, done)
+		}
+		return rows, done
+	}
+	rankedRows, rankedDone := fetch("ranked")
+	bulkRows, bulkDone := fetch("bulk")
+	if rankedDone.Stats.Backend != "ranked" {
+		t.Errorf("backend=ranked: stats backend %q", rankedDone.Stats.Backend)
+	}
+	if bulkDone.Stats.Backend != "bulk" {
+		t.Errorf("backend=bulk: stats backend %q", bulkDone.Stats.Backend)
+	}
+	key := func(r rowLine) string {
+		return fmt.Sprintf("%v|%d", r.Nodes, r.Dist)
+	}
+	want := map[string]int{}
+	for _, r := range rankedRows {
+		want[key(r)]++
+	}
+	if len(bulkRows) != len(rankedRows) {
+		t.Fatalf("bulk %d rows, ranked %d", len(bulkRows), len(rankedRows))
+	}
+	for _, r := range bulkRows {
+		if want[key(r)] == 0 {
+			t.Fatalf("bulk row %v not in ranked set", r)
+		}
+		want[key(r)]--
+	}
+
+	// Auto on the same exhaustive exact query also routes to bulk (the L1
+	// population clears the planner's payoff threshold).
+	_, autoDone, status := ndjsonLines(t, client, ts.URL+"/query?"+url.Values{"q": {bulkQuery}}.Encode())
+	if status != http.StatusOK || autoDone == nil || autoDone.Stats.Backend != "bulk" {
+		t.Fatalf("auto: status %d, stats %+v, want bulk", status, autoDone)
 	}
 }

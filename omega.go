@@ -109,6 +109,10 @@ type (
 	// MemGauge aggregates an execution's accounted resident bytes and
 	// carries its memory watermarks; see ExecOptions.Mem and NewMemGauge.
 	MemGauge = core.MemGauge
+	// Backend selects the evaluation engine: ranked GetNext (the paper's
+	// machinery) or the bulk set-semantics backend for exhaustive exact
+	// scans. See Options.Backend and ExecOptions.Backend.
+	Backend = core.Backend
 	// PathExpr is a parsed regular path expression.
 	PathExpr = rpq.Expr
 )
@@ -124,6 +128,23 @@ const (
 	// Flex applies both (extension beyond the paper).
 	Flex = automaton.Flex
 )
+
+// Evaluation backends (Options.Backend / ExecOptions.Backend).
+const (
+	// BackendAuto (the zero value) lets the planner choose per conjunct:
+	// bulk for exhaustive zero-cost exact scans whose seed population makes
+	// word-parallelism pay, ranked otherwise. Explain shows the decision.
+	BackendAuto = core.BackendAuto
+	// BackendRanked forces the ranked GetNext machinery.
+	BackendRanked = core.BackendRanked
+	// BackendBulk forces the bulk set-semantics engine where eligible;
+	// ineligible conjuncts fall back to ranked (Stats.Backend reports what
+	// ran).
+	BackendBulk = core.BackendBulk
+)
+
+// ParseBackend parses "auto", "ranked" or "bulk".
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
 
 // Direction selects which incident edges to follow in Graph traversal
 // helpers such as Graph.Neighbors.
