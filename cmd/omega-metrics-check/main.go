@@ -1,0 +1,48 @@
+// Command omega-metrics-check reads a Prometheus text exposition on stdin,
+// runs it through the strict parser (internal/obs), and asserts that every
+// metric family named as an argument is present. It exits non-zero on any
+// format violation or missing family, so a CI smoke can gate on
+//
+//	curl -s localhost:8080/metricsz | omega-metrics-check omega_build_info omega_requests_total
+//
+// The parser is deliberately stricter than production scrapers: histogram
+// buckets must be cumulative with a +Inf bound matching _count, every sample
+// needs a HELP/TYPE header, and timestamps are rejected. A pass here means
+// any Prometheus-compatible collector will ingest the endpoint cleanly.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"omega/internal/obs"
+)
+
+func main() {
+	fams, err := obs.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "omega-metrics-check: %v\n", err)
+		os.Exit(1)
+	}
+	missing := 0
+	for _, name := range os.Args[1:] {
+		if _, ok := fams[name]; !ok {
+			fmt.Fprintf(os.Stderr, "omega-metrics-check: family %s missing\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "omega-metrics-check: exposition has %d families:\n", len(names))
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "  %s (%s)\n", n, fams[n].Kind)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("omega-metrics-check: OK — %d families, all %d required present\n", len(fams), len(os.Args)-1)
+}

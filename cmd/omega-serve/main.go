@@ -13,7 +13,10 @@
 //	curl -N 'localhost:8080/query?mode=approx&limit=10&q=(?X)+<-+(Librarians,+type-.job-.next,+?X)'
 //
 // Endpoints: /query (see above), /healthz, /statsz (scheduler, plan cache and
-// pool counters). On SIGINT/SIGTERM the listener stops accepting, in-flight
+// pool counters as JSON), /metricsz (Prometheus text exposition). Pass
+// trace=1 to /query for a span tree on the done line, and -slow-query-ms /
+// -debug-addr for the slow-query log and the pprof server.
+// On SIGINT/SIGTERM the listener stops accepting, in-flight
 // streams drain, and every request's disk-backed state is released before the
 // process exits.
 package main
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,6 +67,9 @@ func main() {
 		memInterval = flag.Duration("mem-check-interval", 0, "memory-pressure monitor tick (0 = 100ms)")
 		softMem     = flag.Int64("soft-mem", 0, "default per-request soft memory watermark in bytes: degrade to disk spilling (0 = off)")
 		hardMem     = flag.Int64("hard-mem", 0, "default per-request hard memory watermark in bytes: abort with 507 (0 = off)")
+
+		slowQueryMs = flag.Int("slow-query-ms", 0, "log a structured slow-query line for requests at or above this latency in milliseconds (0 = off)")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
 
 		janitor    = flag.Bool("janitor", true, "sweep orphaned spill directories from crashed runs at boot")
 		janitorAge = flag.Duration("janitor-age", time.Hour, "only sweep spill directories older than this (0 = all)")
@@ -128,8 +135,21 @@ func main() {
 		MemCheckInterval: *memInterval,
 		SoftMemBytes:     *softMem,
 		HardMemBytes:     *hardMem,
+		SlowQuery:        time.Duration(*slowQueryMs) * time.Millisecond,
 		Log:              logger,
 	})
+
+	// The pprof server listens on its own address so profiling endpoints are
+	// never exposed on the query port. net/http/pprof registers its handlers
+	// on http.DefaultServeMux; the query mux below is separate.
+	if *debugAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "omega-serve: pprof debug server on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "omega-serve: debug server: %v\n", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -42,6 +42,7 @@ func main() {
 		budget      = flag.Int("max-tuples", 0, "tuple budget (0 = unlimited)")
 		backend     = flag.String("backend", "auto", "evaluation engine: auto|ranked|bulk")
 		stats       = flag.Bool("stats", false, "print evaluation statistics")
+		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: run the query traced and print the plan, the span tree and the statistics")
 		explain     = flag.Bool("explain", false, "print the evaluation plan instead of running the query")
 		interactive = flag.Bool("interactive", false, "start the interactive console (paper's console layer)")
 		batch       = flag.Int("batch", 10, "answers per console batch (interactive mode)")
@@ -103,6 +104,15 @@ func main() {
 		}
 		eo.Mode = omega.ModeOverride(m)
 	}
+	if *analyze {
+		// EXPLAIN ANALYZE: the plan first, then the traced run below.
+		plan, err := eng.Explain(*queryText)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, plan)
+		eo.Trace = omega.NewTrace("")
+	}
 	rows, err := pq.Exec(ctx, eo)
 	if err != nil {
 		fatal(err)
@@ -128,7 +138,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "%d answers in %v\n", count, elapsed)
-	if *stats {
+	if *analyze {
+		// Close first so the close span (resource release) is part of the tree.
+		_ = rows.Close()
+		rows.TraceSummary().Render(os.Stderr)
+	}
+	if *stats || *analyze {
 		s := rows.Stats()
 		fmt.Fprintf(os.Stderr, "backend=%s tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
 			s.Backend, s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)

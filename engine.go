@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"omega/internal/core"
+	"omega/internal/obs"
 )
 
 // Engine bundles a graph, an optional ontology and evaluation options into a
@@ -74,7 +75,7 @@ func (pq *PreparedQuery) Exec(ctx context.Context, opts ExecOptions) (*Rows, err
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{it: ex, closer: ex, g: pq.g}, nil
+	return &Rows{it: ex, closer: ex, g: pq.g, trace: opts.Trace}, nil
 }
 
 // Query returns the compiled query (after any conjunct reordering). The
@@ -119,9 +120,18 @@ type Rows struct {
 	it     core.QueryIterator
 	closer interface{ Close() error }
 	g      *Graph
+	trace  *obs.Trace // the request's trace when ExecOptions.Trace was set
 	err    error
 	closed bool
 	chunk  []string // backing store for row labels, carved per row
+}
+
+// TraceSummary snapshots the execution's trace as a span tree. It returns nil
+// unless the execution was started with ExecOptions.Trace. Callers typically
+// invoke it after draining or closing the Rows, so every phase span is closed;
+// calling it mid-stream is safe and reports still-open spans as ending now.
+func (r *Rows) TraceSummary() *TraceSummary {
+	return r.trace.Summary()
 }
 
 // carveLabels cuts a w-wide label slice from the chunk (one allocation per 64

@@ -7,6 +7,7 @@ import (
 	"omega/internal/bulk"
 	"omega/internal/dstruct"
 	"omega/internal/fault"
+	"omega/internal/obs"
 )
 
 // fpBulkStep fires once per bulk BFS level (and once per block seeding); it
@@ -71,7 +72,7 @@ func (b *bulkIterator) Next() (Answer, bool, error) {
 			return Answer{}, false, nil
 		}
 		if b.run == nil {
-			b.run = bulk.NewRun(b.plan.bulkIndex(b.autIdx))
+			b.run = bulk.NewRun(b.bulkIdx())
 			b.run.OnStep = b.onStep
 		}
 		pairs, ok, err := b.run.NextBlock()
@@ -106,6 +107,23 @@ func (b *bulkIterator) Next() (Answer, bool, error) {
 			b.buf = append(b.buf, Answer{Src: p.Src, Dst: p.Dst})
 		}
 	}
+}
+
+// bulkIdx resolves the plan's bulk index for the current automaton, recording
+// a bulk_index span when the execution is traced. The span covers either the
+// one-time build or the plan-cache hit (its duration tells the two apart; the
+// bytes attribute is the index's resident footprint either way).
+func (b *bulkIterator) bulkIdx() *bulk.Index {
+	if b.opts.trace == nil {
+		return b.plan.bulkIndex(b.autIdx)
+	}
+	tr := b.opts.trace
+	sp := tr.Start(b.opts.traceParent, obs.SpanBulkIndex)
+	ix := b.plan.bulkIndex(b.autIdx)
+	tr.SetAttr(sp, "aut", int64(b.autIdx))
+	tr.SetAttr(sp, "bytes", ix.Bytes())
+	tr.End(sp)
+	return ix
 }
 
 // onStep is the governance hook the run invokes per BFS level: tuple budget,

@@ -12,6 +12,7 @@ import (
 
 	"omega/internal/automaton"
 	"omega/internal/dstruct"
+	"omega/internal/obs"
 	"omega/internal/rpq"
 )
 
@@ -279,6 +280,15 @@ type Options struct {
 	// per-request contract). Nil means no byte accounting — the plain
 	// OpenQuery/OpenConjunct paths pay nothing for the feature.
 	mem *MemGauge
+
+	// trace is the per-execution trace, set by Prepared.Exec from ExecOptions
+	// under the same contract as mem: tracing is per-request, never
+	// engine-level. Nil (the plain OpenQuery/OpenConjunct paths, and every
+	// untraced execution) costs one nil check at each instrumented site.
+	// traceParent is the span the iterator layer parents its spans under (the
+	// execution's exec span) — iterators only see *Options, not the Execution.
+	trace       *obs.Trace
+	traceParent obs.SpanID
 }
 
 func (o Options) withDefaults() Options {
@@ -352,6 +362,20 @@ type Stats struct {
 	// "bulk", or "mixed" when a multi-conjunct execution split. Empty from
 	// iterators below the execution layer that predate backend selection.
 	Backend string
+	// SpillIONanos / SpillIOBytes account time spent in and bytes moved
+	// through spill-file I/O (writes, loads, and removals on the spill
+	// dictionary and the deferred frontier). Zero for executions that never
+	// spilled.
+	SpillIONanos int64
+	SpillIOBytes int64
+	// QueueWaitNanos, CompileNanos and TTFRNanos are request-level timings
+	// stamped by the layer that owns each phase: the scheduler (admission →
+	// first worker turn), the plan cache (compile on miss; 0 on hit), and the
+	// execution (first Next → first row). They are not summed across
+	// conjuncts — each is a property of the whole request.
+	QueueWaitNanos int64
+	CompileNanos   int64
+	TTFRNanos      int64
 }
 
 // StatsReporter is implemented by iterators that can report Stats.

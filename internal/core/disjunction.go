@@ -254,6 +254,8 @@ func (d *disjunction) Stats() Stats {
 		s.Deferred += es.Deferred
 		s.Reinjected += es.Reinjected
 		s.SpillEscalations += es.SpillEscalations
+		s.SpillIONanos += es.SpillIONanos
+		s.SpillIOBytes += es.SpillIOBytes
 		if es.VisitedSize > s.VisitedSize {
 			s.VisitedSize = es.VisitedSize
 		}
@@ -371,6 +373,8 @@ func (d *restartDisjunction) accumulate(ev *evaluator) {
 	d.stats.NeighborCalls += s.NeighborCalls
 	d.stats.CacheHits += s.CacheHits
 	d.stats.SpillEscalations += s.SpillEscalations
+	d.stats.SpillIONanos += s.SpillIONanos
+	d.stats.SpillIOBytes += s.SpillIOBytes
 	if s.VisitedSize > d.stats.VisitedSize {
 		d.stats.VisitedSize = s.VisitedSize
 	}
@@ -406,6 +410,8 @@ func (d *restartDisjunction) Stats() Stats {
 		s.NeighborCalls += cs.NeighborCalls
 		s.CacheHits += cs.CacheHits
 		s.SpillEscalations += cs.SpillEscalations
+		s.SpillIONanos += cs.SpillIONanos
+		s.SpillIOBytes += cs.SpillIOBytes
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "omega/internal/dstruct"
+import (
+	"omega/internal/dstruct"
+	"omega/internal/obs"
+)
 
 // distanceAware implements §4.3's "retrieving answers by distance": a current
 // maximum cost ψ starts at 0; no tuple with a larger cost is ever added to or
@@ -28,12 +31,17 @@ type distanceAware struct {
 	psi    int32
 	done   bool
 	phases int
+
+	// phaseSpan is the open psi_phase trace span of the current resumed phase
+	// (NoSpan for phase 1, which the enclosing conjunct span already covers,
+	// and always NoSpan when the execution is untraced).
+	phaseSpan obs.SpanID
 }
 
 func newDistanceAware(ev *evaluator, phi, maxPsi int32) *distanceAware {
 	ev.psi = 0
 	makeResumable(ev, phi, maxPsi)
-	return &distanceAware{cur: ev, phi: phi, maxPsi: maxPsi, phases: 1}
+	return &distanceAware{cur: ev, phi: phi, maxPsi: maxPsi, phases: 1, phaseSpan: obs.NoSpan}
 }
 
 // makeResumable arms ev with a deferred frontier so the ψ-stepping drivers
@@ -86,6 +94,7 @@ func (d *distanceAware) Next() (Answer, bool, error) {
 		// dropped parked tuples; continuing would emit an incomplete tail.
 		if err := d.cur.deferred.Err(); err != nil {
 			d.done = true
+			d.endPhaseSpan()
 			d.cur.finish()
 			return Answer{}, false, err
 		}
@@ -94,14 +103,26 @@ func (d *distanceAware) Next() (Answer, bool, error) {
 		next, more := d.nextPsi()
 		if !more {
 			d.done = true
+			d.endPhaseSpan()
 			d.cur.finish()
 			break
 		}
 		d.psi = next
+		if tr := d.cur.opts.trace; tr != nil {
+			tr.End(d.phaseSpan)
+			d.phaseSpan = tr.Start(d.cur.opts.traceParent, obs.SpanPsiPhase)
+			tr.SetAttr(d.phaseSpan, "psi", int64(next))
+		}
 		d.cur.resume(next)
 		d.phases++
 	}
 	return Answer{}, false, nil
+}
+
+// endPhaseSpan closes the open psi_phase span, if any (nil-trace safe).
+func (d *distanceAware) endPhaseSpan() {
+	d.cur.opts.trace.End(d.phaseSpan)
+	d.phaseSpan = obs.NoSpan
 }
 
 // nextPsi returns the next ψ-grid value that re-admits at least one deferred
@@ -134,6 +155,7 @@ func (d *distanceAware) Stats() Stats {
 // frontier, including any spill files) deterministically.
 func (d *distanceAware) Close() error {
 	d.done = true
+	d.endPhaseSpan()
 	return d.cur.Close()
 }
 
@@ -141,6 +163,7 @@ func (d *distanceAware) Close() error {
 // live evaluator's pooled state (see evaluator.Abort).
 func (d *distanceAware) Abort(err error) {
 	d.done = true
+	d.endPhaseSpan()
 	d.cur.Abort(err)
 }
 
@@ -203,6 +226,8 @@ func (d *restartDistanceAware) accumulate(ev *evaluator) {
 	d.stats.NeighborCalls += s.NeighborCalls
 	d.stats.CacheHits += s.CacheHits
 	d.stats.SpillEscalations += s.SpillEscalations
+	d.stats.SpillIONanos += s.SpillIONanos
+	d.stats.SpillIOBytes += s.SpillIOBytes
 	if s.VisitedSize > d.stats.VisitedSize {
 		d.stats.VisitedSize = s.VisitedSize
 	}
@@ -238,6 +263,8 @@ func (d *restartDistanceAware) Stats() Stats {
 		s.NeighborCalls += cs.NeighborCalls
 		s.CacheHits += cs.CacheHits
 		s.SpillEscalations += cs.SpillEscalations
+		s.SpillIONanos += cs.SpillIONanos
+		s.SpillIOBytes += cs.SpillIOBytes
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
 		}

@@ -187,6 +187,13 @@ func (ev *evaluator) finish() {
 				ev.closeErr = derr
 			}
 		}
+		// Fold the frontier's spill I/O accounting (including the removals
+		// DisarmSpill just performed) into the evaluator's counters before the
+		// pointer is severed; Reset zeroes it for the bundle's next tenant.
+		if n, b := st.deferred.IOStats(); n > 0 {
+			ev.stats.SpillIONanos += n
+			ev.stats.SpillIOBytes += b
+		}
 		if !poisoned {
 			// The scratch and batch buffers may have grown; hand the grown
 			// capacity back with the bundle.
@@ -211,12 +218,27 @@ func (ev *evaluator) finish() {
 		if err := ev.dr.Close(); err != nil && ev.closeErr == nil {
 			ev.closeErr = err
 		}
+		if io, ok := ev.dr.(ioStatser); ok {
+			n, b := io.IOStats()
+			ev.stats.SpillIONanos += n
+			ev.stats.SpillIOBytes += b
+		}
 	}
 	if ev.deferred != nil {
 		if err := ev.deferred.Close(); err != nil && ev.closeErr == nil {
 			ev.closeErr = err
 		}
+		n, b := ev.deferred.IOStats()
+		ev.stats.SpillIONanos += n
+		ev.stats.SpillIOBytes += b
 	}
+}
+
+// ioStatser is implemented by the disk-backed dstruct structures (SpillDict,
+// Deferred); the plain in-memory dictionaries do no I/O and don't implement
+// it.
+type ioStatser interface {
+	IOStats() (nanos, bytes int64)
 }
 
 // Close releases the evaluator's resources deterministically, reporting any
@@ -623,6 +645,18 @@ func (ev *evaluator) Stats() Stats {
 		// The gauge is shared by every evaluator of the execution, so the
 		// peak is execution-wide; aggregation takes the max, not the sum.
 		s.MemPeakBytes = m.PeakBytes()
+	}
+	// Before finish() folds them in (and severs the pointers), the spill I/O
+	// counters live on the structures themselves.
+	if io, ok := ev.dr.(ioStatser); ok {
+		n, b := io.IOStats()
+		s.SpillIONanos += n
+		s.SpillIOBytes += b
+	}
+	if ev.deferred != nil {
+		n, b := ev.deferred.IOStats()
+		s.SpillIONanos += n
+		s.SpillIOBytes += b
 	}
 	return s
 }

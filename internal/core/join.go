@@ -336,6 +336,8 @@ func aggregateStats(its []Iterator) Stats {
 		s.Deferred += cs.Deferred
 		s.Reinjected += cs.Reinjected
 		s.SpillEscalations += cs.SpillEscalations
+		s.SpillIONanos += cs.SpillIONanos
+		s.SpillIOBytes += cs.SpillIOBytes
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
 		}

@@ -9,6 +9,7 @@ import (
 
 	"omega/internal/automaton"
 	"omega/internal/graph"
+	"omega/internal/obs"
 	"omega/internal/ontology"
 )
 
@@ -69,6 +70,11 @@ type ExecOptions struct {
 	// memory broker's victim selection. When nil, Exec creates a private
 	// gauge, so Stats.MemPeakBytes is always populated.
 	Mem *MemGauge
+	// Trace, when non-nil, records this execution's phase spans (exec,
+	// per-conjunct evaluation, bulk index builds, ψ phases, close) into the
+	// request's trace. Nil — the default — keeps the whole feature to one nil
+	// check per instrumented site and zero allocations.
+	Trace *obs.Trace
 	// Backend overrides Options.Backend for this execution: BackendAuto
 	// (zero value) inherits the engine-level default (itself auto unless
 	// pinned), BackendRanked/BackendBulk force the engine. Auto picks the
@@ -234,6 +240,7 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 		ctx:     watchable(ctx),
 		limit:   eo.Limit,
 		maxDist: eo.MaxDist,
+		started: time.Now(),
 	}
 	if eo.MaxTuples > 0 {
 		ex.opts.MaxTuples = eo.MaxTuples
@@ -246,6 +253,15 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	} else {
 		ex.opts.mem = NewMemGauge(eo.SoftMemBytes, eo.HardMemBytes)
 	}
+	if eo.Trace != nil {
+		ex.tr = eo.Trace
+		ex.execSpan = ex.tr.Start(obs.Root, obs.SpanExec)
+		ex.opts.trace = eo.Trace
+		// Iterators below the execution layer (bulk index build, ψ phases)
+		// parent their spans under the exec span: they share one Options and
+		// may record lazily, so a per-conjunct parent cannot be threaded down.
+		ex.opts.traceParent = ex.execSpan
+	}
 	// Backend selection: the per-execution request layered over the engine
 	// default, resolved per conjunct against the cost model. Only exhaustive
 	// executions (no Limit, no MaxDist) are auto-eligible for the bulk
@@ -254,10 +270,21 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	exhaustive := eo.Limit == 0 && eo.MaxDist == 0
 	ex.its = make([]Iterator, len(ps.plans))
 	ex.backends = make([]Backend, len(ps.plans))
+	if ex.tr != nil {
+		ex.conjSpans = make([]obs.SpanID, len(ps.plans))
+	}
 	for i, plan := range ps.plans {
 		dec := plan.chooseBackend(req, exhaustive)
 		ex.backends[i] = dec.backend
 		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist, dec.backend)
+		if ex.tr != nil {
+			sp := ex.tr.Start(ex.execSpan, obs.SpanConjunct)
+			ex.tr.SetAttr(sp, "idx", int64(i))
+			if dec.backend == BackendBulk {
+				ex.tr.SetAttr(sp, "bulk", 1)
+			}
+			ex.conjSpans[i] = sp
+		}
 	}
 	q := ps.q
 	switch {
@@ -304,6 +331,14 @@ type Execution struct {
 	closed   bool
 	closeErr error
 	released bool
+
+	// Tracing (all zero-valued and inert when the execution is untraced —
+	// the per-row cost is the single e.n == 1 compare in Next).
+	started   time.Time
+	ttfr      time.Duration
+	tr        *obs.Trace
+	execSpan  obs.SpanID
+	conjSpans []obs.SpanID
 }
 
 // Next returns the next answer in non-decreasing total distance, honouring
@@ -331,6 +366,7 @@ func (e *Execution) Next() (QueryAnswer, bool, error) {
 				// recycled with their high-water capacity.
 				if !e.released {
 					e.released = true
+					e.finishSpans()
 					for _, it := range e.its {
 						abortIter(it, e.err)
 					}
@@ -358,7 +394,42 @@ func (e *Execution) Next() (QueryAnswer, bool, error) {
 		return QueryAnswer{}, false, nil
 	}
 	e.n++
+	if e.n == 1 {
+		e.ttfr = time.Since(e.started)
+	}
 	return a, true, nil
+}
+
+// finishSpans stamps each conjunct span with its iterator's final counters and
+// ends the execution-level spans. Called exactly once, from whichever release
+// path runs first, while the iterators are still queryable.
+func (e *Execution) finishSpans() {
+	if e.tr == nil {
+		return
+	}
+	for i, sp := range e.conjSpans {
+		s := statsOf(e.its[i])
+		e.tr.SetAttr(sp, "tuples_added", int64(s.TuplesAdded))
+		e.tr.SetAttr(sp, "tuples_popped", int64(s.TuplesPopped))
+		e.tr.SetAttr(sp, "phases", int64(s.Phases))
+		if s.Deferred > 0 {
+			e.tr.SetAttr(sp, "deferred", int64(s.Deferred))
+			e.tr.SetAttr(sp, "reinjected", int64(s.Reinjected))
+		}
+		if s.SpillEscalations > 0 {
+			e.tr.SetAttr(sp, "spill_escalations", int64(s.SpillEscalations))
+		}
+		if s.SpillIONanos > 0 {
+			e.tr.SetAttr(sp, "spill_io_us", s.SpillIONanos/1e3)
+			e.tr.SetAttr(sp, "spill_io_bytes", s.SpillIOBytes)
+		}
+		e.tr.End(sp)
+	}
+	e.tr.SetAttr(e.execSpan, "rows", int64(e.n))
+	if e.ttfr > 0 {
+		e.tr.SetAttr(e.execSpan, "ttfr_us", e.ttfr.Microseconds())
+	}
+	e.tr.End(e.execSpan)
 }
 
 // release closes every conjunct iterator, keeping the first error.
@@ -367,11 +438,17 @@ func (e *Execution) release() {
 		return
 	}
 	e.released = true
+	e.finishSpans()
+	var closeSpan obs.SpanID = obs.NoSpan
+	if e.tr != nil {
+		closeSpan = e.tr.Start(obs.Root, obs.SpanClose)
+	}
 	for _, it := range e.its {
 		if err := closeIter(it); err != nil && e.closeErr == nil {
 			e.closeErr = err
 		}
 	}
+	e.tr.End(closeSpan)
 }
 
 // Close releases the execution's resources (spill files, deferred frontiers)
@@ -399,9 +476,15 @@ func (e *Execution) Abort(err error) {
 		return
 	}
 	e.released = true
+	e.finishSpans()
+	var closeSpan obs.SpanID = obs.NoSpan
+	if e.tr != nil {
+		closeSpan = e.tr.Start(obs.Root, obs.SpanClose)
+	}
 	for _, it := range e.its {
 		abortIter(it, err)
 	}
+	e.tr.End(closeSpan)
 }
 
 // Stats implements StatsReporter, delegating to the underlying iterator tree
@@ -413,5 +496,8 @@ func (e *Execution) Stats() Stats {
 		s = sr.Stats()
 	}
 	s.Backend = backendsLabel(e.backends)
+	if e.ttfr > 0 {
+		s.TTFRNanos = int64(e.ttfr)
+	}
 	return s
 }

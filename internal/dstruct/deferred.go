@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"omega/internal/fault"
 )
@@ -51,6 +52,11 @@ type Deferred struct {
 	spills    int
 	closed    bool
 	err       error
+
+	// ioNanos/ioBytes mirror SpillDict's spill I/O accounting (see there):
+	// wall time in and payload bytes through deferred spill-file operations.
+	ioNanos int64
+	ioBytes int64
 }
 
 // NewDeferred returns an empty deferred frontier. noFinalFirst must match the
@@ -148,6 +154,8 @@ func (df *Deferred) Reset(noFinalFirst bool) {
 	df.noFinalFirst = noFinalFirst
 	df.err = nil
 	df.closed = false
+	df.ioNanos = 0
+	df.ioBytes = 0
 	if err := df.DisarmSpill(); err != nil {
 		df.fail(err)
 	}
@@ -239,6 +247,8 @@ func (df *Deferred) Bytes() int64 {
 
 // removeFile deletes one deferred spill file, typing any failure.
 func (df *Deferred) removeFile(path string) error {
+	start := time.Now()
+	defer func() { df.ioNanos += time.Since(start).Nanoseconds() }()
 	if err := fault.Inject(fpDeferredRemove); err != nil {
 		return spillErr("deferred remove", err)
 	}
@@ -247,6 +257,11 @@ func (df *Deferred) removeFile(path string) error {
 	}
 	return nil
 }
+
+// IOStats reports the frontier's lifetime spill I/O accounting: wall
+// nanoseconds spent in spill-file operations and tuple-payload bytes written
+// plus read. Zeroed by Reset along with the rest of the pooled state.
+func (df *Deferred) IOStats() (nanos, bytes int64) { return df.ioNanos, df.ioBytes }
 
 // Resident returns the number of parked tuples currently held in memory.
 func (df *Deferred) Resident() int { return df.resident }
@@ -275,6 +290,8 @@ func (df *Deferred) spillColdest() {
 }
 
 func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
+	start := time.Now()
+	defer func() { df.ioNanos += time.Since(start).Nanoseconds() }()
 	if err := fault.Inject(fpDeferredWrite); err != nil {
 		df.fail(spillErr("deferred write", err))
 		return false
@@ -297,6 +314,7 @@ func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
 		df.fail(spillErr("deferred close", err))
 		return false
 	}
+	df.ioBytes += int64(len(buf))
 	if df.onDisk[k] == 0 {
 		heap.Push(&df.diskKeys, k)
 	}
@@ -311,15 +329,20 @@ func (df *Deferred) spillList(k int64, list *[]Tuple) bool {
 // so file order is oldest first) and removes its file. The resident remnant
 // of the same sub-list is newer and is re-appended after the disk content.
 func (df *Deferred) loadList(k int64, resident []Tuple) []Tuple {
+	// removeFile below times itself; this window covers only the read.
+	start := time.Now()
 	if err := fault.Inject(fpDeferredLoad); err != nil {
+		df.ioNanos += time.Since(start).Nanoseconds()
 		df.fail(spillErr("deferred load", err))
 		return resident
 	}
 	data, err := os.ReadFile(df.path(k))
+	df.ioNanos += time.Since(start).Nanoseconds()
 	if err != nil {
 		df.fail(spillErr("deferred load", err))
 		return resident
 	}
+	df.ioBytes += int64(len(data))
 	n := len(data) / tupleBytes
 	list := make([]Tuple, 0, n+len(resident))
 	for i := 0; i < n; i++ {

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the metrics half of the observability layer: a hand-rolled
+// registry that renders the Prometheus text exposition format (version 0.0.4)
+// with no dependency on the Prometheus client library. Two registration
+// styles coexist:
+//
+//   - collector callbacks (Collect / CollectHist) snapshot existing stats
+//     structs at scrape time — the scheduler, broker, pool, plan cache and
+//     fault registry already keep their own counters, so /metricsz reads
+//     them instead of double-counting;
+//   - direct instruments (CounterVec / HistogramVec) for figures nothing
+//     else tracks, like per-backend request latency histograms, updated on
+//     the request path.
+//
+// The writer emits HELP and TYPE for every family and cumulative histogram
+// buckets with a trailing +Inf, which the strict parser in parse.go (shared
+// by the golden tests and the CI smoke) verifies line by line.
+
+// Label is one metric label pair.
+type Label struct {
+	Name, Value string
+}
+
+// HistSnapshot is a histogram state: non-cumulative counts per bucket, with
+// Counts[len(Uppers)] counting observations above every finite bound.
+type HistSnapshot struct {
+	Uppers []float64 // finite upper bounds, ascending
+	Counts []int64   // len(Uppers)+1
+	Sum    float64
+}
+
+// Count returns the total number of observations.
+func (h HistSnapshot) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// family is one registered metric family.
+type family struct {
+	name, kind, help string
+	collect          func(emit func(v float64, labels ...Label))
+	collectHist      func(emit func(h HistSnapshot, labels ...Label))
+}
+
+// Registry holds metric families and renders them in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []*family
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic("obs: invalid metric name " + f.name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("obs: duplicate metric family " + f.name)
+	}
+	r.names[f.name] = true
+	r.fams = append(r.fams, f)
+}
+
+// Collect registers a counter or gauge family whose series are produced by fn
+// at scrape time. kind must be "counter" or "gauge".
+func (r *Registry) Collect(name, kind, help string, fn func(emit func(v float64, labels ...Label))) {
+	if kind != "counter" && kind != "gauge" {
+		panic("obs: Collect kind must be counter or gauge, got " + kind)
+	}
+	r.register(&family{name: name, kind: kind, help: help, collect: fn})
+}
+
+// Gauge registers a single unlabelled gauge backed by fn.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.Collect(name, "gauge", help, func(emit func(v float64, labels ...Label)) {
+		emit(fn())
+	})
+}
+
+// Counter registers a single unlabelled counter backed by fn.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.Collect(name, "counter", help, func(emit func(v float64, labels ...Label)) {
+		emit(fn())
+	})
+}
+
+// CollectHist registers a histogram family whose series are produced by fn at
+// scrape time (used for histograms another subsystem already maintains, like
+// the scheduler's inter-row gap buckets).
+func (r *Registry) CollectHist(name, help string, fn func(emit func(h HistSnapshot, labels ...Label))) {
+	r.register(&family{name: name, kind: "histogram", help: help, collectHist: fn})
+}
+
+// Histogram is a mutex-guarded fixed-bucket histogram. Observe is called on
+// the request path (per request, not per row), so a mutex is cheap enough and
+// keeps the snapshot consistent under concurrent scrapes.
+type Histogram struct {
+	mu     sync.Mutex
+	uppers []float64
+	counts []int64
+	sum    float64
+}
+
+// NewHistogram returns a histogram over the given ascending finite bucket
+// upper bounds.
+func NewHistogram(uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{uppers: uppers, counts: make([]int64, len(uppers)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.uppers, v) // first upper ≥ v
+	h.counts[i]++
+	h.sum += v
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return HistSnapshot{Uppers: h.uppers, Counts: counts, Sum: h.sum}
+}
+
+// HistogramVec is a histogram family with one label dimension, series created
+// on first use.
+type HistogramVec struct {
+	label  string
+	uppers []float64
+	mu     sync.Mutex
+	m      map[string]*Histogram
+}
+
+// HistogramVec registers a histogram family keyed by one label.
+func (r *Registry) HistogramVec(name, help, label string, uppers []float64) *HistogramVec {
+	if !validLabelName(label) {
+		panic("obs: invalid label name " + label)
+	}
+	v := &HistogramVec{label: label, uppers: uppers, m: map[string]*Histogram{}}
+	r.CollectHist(name, help, func(emit func(h HistSnapshot, labels ...Label)) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		hists := make([]*Histogram, len(keys))
+		for i, k := range keys {
+			hists[i] = v.m[k]
+		}
+		v.mu.Unlock()
+		for i, k := range keys {
+			emit(hists[i].Snapshot(), Label{v.label, k})
+		}
+	})
+	return v
+}
+
+// With returns (creating on first use) the histogram for the label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[value]
+	if !ok {
+		h = NewHistogram(v.uppers)
+		v.m[value] = h
+	}
+	return h
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]float64
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !validLabelName(label) {
+		panic("obs: invalid label name " + label)
+	}
+	v := &CounterVec{label: label, m: map[string]float64{}}
+	r.Collect(name, "counter", help, func(emit func(val float64, labels ...Label)) {
+		v.mu.Lock()
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			vals[i] = v.m[k]
+		}
+		v.mu.Unlock()
+		for i, k := range keys {
+			emit(vals[i], Label{label, k})
+		}
+	})
+	return v
+}
+
+// Add increments the series for the label value by delta (≥ 0).
+func (v *CounterVec) Add(value string, delta float64) {
+	v.mu.Lock()
+	v.m[value] += delta
+	v.mu.Unlock()
+}
+
+// Inc increments the series for the label value by one.
+func (v *CounterVec) Inc(value string) { v.Add(value, 1) }
+
+// WritePrometheus renders every registered family in the text exposition
+// format. Collector callbacks run at scrape time, so the output is a
+// consistent-enough snapshot of each subsystem (each family snapshots its
+// source atomically; cross-family skew is inherent to scraping).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind)
+		b.WriteByte('\n')
+		if f.collectHist != nil {
+			f.collectHist(func(h HistSnapshot, labels ...Label) {
+				writeHist(&b, f.name, h, labels)
+			})
+		} else {
+			f.collect(func(v float64, labels ...Label) {
+				writeSample(&b, f.name, labels, "", 0, v)
+			})
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHist renders one histogram series: cumulative buckets, +Inf, sum,
+// count.
+func writeHist(b *strings.Builder, name string, h HistSnapshot, labels []Label) {
+	var cum int64
+	for i, upper := range h.Uppers {
+		cum += h.Counts[i]
+		writeSample(b, name+"_bucket", labels, "le", upper, float64(cum))
+	}
+	cum += h.Counts[len(h.Uppers)]
+	writeSample(b, name+"_bucket", labels, "le", math.Inf(1), float64(cum))
+	writeSample(b, name+"_sum", labels, "", 0, h.Sum)
+	writeSample(b, name+"_count", labels, "", 0, float64(cum))
+}
+
+// writeSample renders one sample line; extraName/extraVal append the le label
+// when non-empty.
+func writeSample(b *strings.Builder, name string, labels []Label, extraName string, extraVal float64, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(formatFloat(extraVal))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value (or le bound) the way Prometheus
+// expects: shortest round-trip representation, +Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !letter && !(i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+		if !letter && !(i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// LatencyBuckets is the default latency histogram layout (seconds): roughly
+// logarithmic from 500µs to 30s, matching the spread between a cached
+// single-row lookup and a heavy exhaustive scan.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}

@@ -73,6 +73,15 @@ func cacheKey(text string, mode *omega.Mode) string {
 // Parse and compile errors are returned but never cached: a mistyped query
 // must not poison the slot for its corrected retry.
 func (c *PlanCache) Get(text string, mode *omega.Mode) (*omega.PreparedQuery, error) {
+	pq, _, err := c.Lookup(text, mode)
+	return pq, err
+}
+
+// Lookup is Get with a hit report: hit is true when the slot already existed
+// (this request paid no compile of its own — though a follower may still wait
+// on the leading compile), false when this call did the compiling. The serving
+// layer uses it to attribute plan-span time to lookup versus compile.
+func (c *PlanCache) Lookup(text string, mode *omega.Mode) (pq *omega.PreparedQuery, hit bool, err error) {
 	key := cacheKey(text, mode)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -81,7 +90,7 @@ func (c *PlanCache) Get(text string, mode *omega.Mode) (*omega.PreparedQuery, er
 		c.hits++
 		c.mu.Unlock()
 		<-e.ready
-		return e.pq, e.err
+		return e.pq, true, e.err
 	}
 	c.misses++
 	e := &planEntry{key: key, ready: make(chan struct{})}
@@ -109,7 +118,7 @@ func (c *PlanCache) Get(text string, mode *omega.Mode) (*omega.PreparedQuery, er
 		}
 		c.mu.Unlock()
 	}
-	return e.pq, e.err
+	return e.pq, false, e.err
 }
 
 func (c *PlanCache) compile(text string, mode *omega.Mode) (*omega.PreparedQuery, error) {

@@ -28,6 +28,7 @@ import (
 
 	"omega"
 	"omega/internal/fault"
+	"omega/internal/obs"
 )
 
 // ErrOverloaded is reported (wrapped) when admission control rejects a
@@ -193,6 +194,19 @@ type task struct {
 	// at the end of every turn.
 	lastRow time.Time
 	gaps    [gapBuckets]int64
+
+	// Request-level timing (client-visible: measured from admission, unlike
+	// the engine-level figures measured from Exec). ttfr is zero until the
+	// first row reaches the sink.
+	submitted time.Time
+	queueWait time.Duration
+	ttfr      time.Duration
+
+	// Tracing: tr is the request's trace from the context (nil when
+	// untraced); the spans are NoSpan until their phase opens.
+	tr         *obs.Trace
+	queueSpan  obs.SpanID
+	streamSpan obs.SpanID
 }
 
 // Result summarises one completed request.
@@ -276,7 +290,16 @@ func (s *Scheduler) Stream(ctx context.Context, start func(ctx context.Context) 
 	// back onto ErrStalled.
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	t := &task{ctx: ctx, start: start, onRow: onRow, cancel: cancel, done: make(chan struct{})}
+	t := &task{
+		ctx: ctx, start: start, onRow: onRow, cancel: cancel,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+		queueSpan: obs.NoSpan, streamSpan: obs.NoSpan,
+	}
+	if tr := obs.FromContext(ctx); tr != nil {
+		t.tr = tr
+		t.queueSpan = tr.Start(obs.Root, obs.SpanQueue)
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -339,6 +362,17 @@ func (s *Scheduler) worker() {
 			if t.stalled && t.err != nil &&
 				(errors.Is(t.err, omega.ErrCanceled) || errors.Is(t.err, omega.ErrDeadline)) {
 				t.err = &StalledError{Budget: s.cfg.StallBudget}
+			}
+			// Stamp the request-level timings into the stats snapshot the
+			// caller receives. The scheduler's TTFR (admission → sink) replaces
+			// the engine's (Exec → pop) because it is what the client saw.
+			t.stats.QueueWaitNanos = int64(t.queueWait)
+			if t.ttfr > 0 {
+				t.stats.TTFRNanos = int64(t.ttfr)
+			}
+			if t.tr != nil {
+				t.tr.End(t.queueSpan) // no-op unless still queued (pre-start failure)
+				t.tr.End(t.streamSpan)
 			}
 			s.inFlight--
 			if t.err != nil {
@@ -494,6 +528,11 @@ func (s *Scheduler) runQuantum(t *task) (finished bool) {
 			t.err = mapCtxErr(err)
 			return true
 		}
+		t.queueWait = time.Since(t.submitted)
+		if t.tr != nil {
+			t.tr.End(t.queueSpan)
+			t.streamSpan = t.tr.Start(obs.Root, obs.SpanStream)
+		}
 		rows, err := t.start(t.ctx)
 		if err != nil {
 			t.err = err
@@ -502,26 +541,49 @@ func (s *Scheduler) runQuantum(t *task) (finished bool) {
 		t.rows = rows
 		t.lastRow = time.Now() // first gap = time to first row
 	}
+	qSpan, rowsBefore := obs.NoSpan, t.n
+	if t.tr != nil {
+		qSpan = t.tr.Start(t.streamSpan, obs.SpanQuantum)
+	}
 	for i := 0; i < s.cfg.Quantum; i++ {
 		row, ok, err := t.rows.Next()
 		if err != nil {
 			t.err = err
+			t.endQuantumSpan(qSpan, rowsBefore)
 			s.finishRows(t)
 			return true
 		}
 		if !ok {
+			t.endQuantumSpan(qSpan, rowsBefore)
 			s.finishRows(t)
 			return true
 		}
 		t.recordGap(time.Now())
 		if err := t.onRow(row); err != nil {
 			t.err = err
+			t.endQuantumSpan(qSpan, rowsBefore)
 			s.finishRows(t)
 			return true
 		}
 		t.n++
+		if t.n == 1 {
+			// Client-visible time to first row: admission to sink delivery,
+			// including the queue wait the engine-level figure cannot see.
+			t.ttfr = time.Since(t.submitted)
+		}
 	}
+	t.endQuantumSpan(qSpan, rowsBefore)
 	return false // quantum exhausted; re-queue for the next turn
+}
+
+// endQuantumSpan closes one turn's quantum span, stamping the rows it
+// delivered. Safe when untraced (tr nil, sp NoSpan).
+func (t *task) endQuantumSpan(sp obs.SpanID, rowsBefore int) {
+	if t.tr == nil {
+		return
+	}
+	t.tr.SetAttr(sp, "rows", int64(t.n-rowsBefore))
+	t.tr.End(sp)
 }
 
 // finishRows captures the execution's counters and releases it.
@@ -563,6 +625,17 @@ func (s *Scheduler) Stats() SchedulerStats {
 	st.Degraded = s.degraded(time.Now())
 	st.GapP99Ms = s.gapP99Locked()
 	return st
+}
+
+// GapSnapshot copies the lifetime inter-row gap histogram for metrics
+// exposition. counts[i] holds gaps of less than 2^i microseconds (the top
+// bucket is unbounded); total is the number of gaps recorded.
+func (s *Scheduler) GapSnapshot() (counts []int64, total int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts = make([]int64, gapBuckets)
+	copy(counts, s.gapHist[:])
+	return counts, s.gapTotal
 }
 
 // RetryAfter returns the back-off hint attached to overload rejections.

@@ -15,6 +15,7 @@ import (
 
 	"omega"
 	"omega/internal/fault"
+	"omega/internal/obs"
 )
 
 // Config assembles a Server. Engine is required; everything else defaults.
@@ -77,6 +78,11 @@ type Config struct {
 	// (507). 0 disables either.
 	SoftMemBytes int64
 	HardMemBytes int64
+	// SlowQuery, when positive, arms the slow-query log: every request whose
+	// end-to-end latency reaches the threshold is logged as one structured
+	// JSON line (request ID, query text, timings, evaluation counters) via
+	// Log. 0 disables.
+	SlowQuery time.Duration
 	// Log, when non-nil, receives one line per finished request (rows,
 	// latency, evaluation counters) and server lifecycle events.
 	Log *log.Logger
@@ -89,19 +95,22 @@ type Config struct {
 //
 //	GET/POST /query    — evaluate; streams NDJSON (see handleQuery)
 //	GET      /healthz  — liveness
-//	GET      /statsz   — scheduler / plan-cache / pool counters as JSON
+//	GET      /statsz   — scheduler / plan-cache / pool / fault / build stats as JSON
+//	GET      /metricsz — Prometheus text exposition (see internal/serve/metrics.go)
 type Server struct {
-	eng      *omega.Engine
-	cache    *PlanCache
-	sched    *Scheduler
-	pool     *omega.EvalPool
-	broker   *memBroker // nil when no memory budget is configured
-	mux      *http.ServeMux
-	degLimit int   // degraded-mode row-limit clamp (0 = no clamp)
-	degDist  int   // degraded-mode maxdist clamp (0 = no clamp)
-	softMem  int64 // default per-request soft memory watermark (0 = none)
-	hardMem  int64 // default per-request hard memory watermark (0 = none)
-	logf     func(format string, args ...any)
+	eng       *omega.Engine
+	cache     *PlanCache
+	sched     *Scheduler
+	pool      *omega.EvalPool
+	broker    *memBroker // nil when no memory budget is configured
+	mux       *http.ServeMux
+	degLimit  int   // degraded-mode row-limit clamp (0 = no clamp)
+	degDist   int   // degraded-mode maxdist clamp (0 = no clamp)
+	softMem   int64 // default per-request soft memory watermark (0 = none)
+	hardMem   int64 // default per-request hard memory watermark (0 = none)
+	slowQuery time.Duration
+	metrics   *serverMetrics
+	logf      func(format string, args ...any)
 }
 
 // New assembles a Server from cfg. Close it to drain in-flight requests.
@@ -120,15 +129,16 @@ func New(cfg Config) *Server {
 		DegradeWindow: cfg.DegradeWindow,
 	}.withDefaults()
 	s := &Server{
-		eng:      cfg.Engine,
-		cache:    NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
-		sched:    NewScheduler(sc),
-		broker:   newMemBroker(cfg.MemBudget, cfg.MemReserve, cfg.MemCheckInterval, sc.Workers+sc.queueSlots()),
-		degLimit: cfg.DegradedLimit,
-		degDist:  cfg.DegradedMaxDist,
-		softMem:  cfg.SoftMemBytes,
-		hardMem:  cfg.HardMemBytes,
-		logf:     func(string, ...any) {},
+		eng:       cfg.Engine,
+		cache:     NewPlanCache(cfg.Engine, cfg.PlanCacheSize),
+		sched:     NewScheduler(sc),
+		broker:    newMemBroker(cfg.MemBudget, cfg.MemReserve, cfg.MemCheckInterval, sc.Workers+sc.queueSlots()),
+		degLimit:  cfg.DegradedLimit,
+		degDist:   cfg.DegradedMaxDist,
+		softMem:   cfg.SoftMemBytes,
+		hardMem:   cfg.HardMemBytes,
+		slowQuery: cfg.SlowQuery,
+		logf:      func(string, ...any) {},
 	}
 	if cfg.Log != nil {
 		s.logf = cfg.Log.Printf
@@ -140,12 +150,17 @@ func New(cfg Config) *Server {
 		}
 		s.pool = omega.NewEvalPool(size)
 	}
+	s.metrics = newServerMetrics(s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { s.handleQuery(w, r, cfg.MaxLimit) })
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.metrics.handleMetricsz)
 	return s
 }
+
+// Metrics exposes the server's metrics registry (the /metricsz families).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -187,17 +202,21 @@ type rowLine struct {
 // below what the client asked for — the client can tell a short answer from
 // a complete one.
 type doneLine struct {
-	Done      bool      `json:"done"`
-	Rows      int       `json:"rows"`
-	ElapsedMs float64   `json:"elapsed_ms"`
-	Degraded  bool      `json:"degraded,omitempty"`
-	Stats     statsLine `json:"stats"`
+	Done      bool         `json:"done"`
+	RequestID string       `json:"request_id"`
+	Rows      int          `json:"rows"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Degraded  bool         `json:"degraded,omitempty"`
+	Stats     statsLine    `json:"stats"`
+	Trace     *obs.Summary `json:"trace,omitempty"` // present when the request asked for trace=1
 }
 
 // errorLine terminates a stream that failed after rows were already sent.
 type errorLine struct {
-	Error string `json:"error"`
-	Rows  int    `json:"rows"`
+	Error     string       `json:"error"`
+	RequestID string       `json:"request_id"`
+	Rows      int          `json:"rows"`
+	Trace     *obs.Summary `json:"trace,omitempty"`
 }
 
 // statsLine is the wire form of the per-request evaluation counters.
@@ -216,6 +235,13 @@ type statsLine struct {
 	// Backend reports which evaluation engine ran: "ranked", "bulk", or
 	// "mixed" when a multi-conjunct plan split.
 	Backend string `json:"backend,omitempty"`
+	// Request-level latency phases: admission → first worker turn, plan-cache
+	// lookup (including compilation on a miss), admission → first row, and
+	// time spent on spill-file I/O.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	CompileMs   float64 `json:"compile_ms,omitempty"`
+	TTFRMs      float64 `json:"ttfr_ms,omitempty"`
+	SpillIOMs   float64 `json:"spill_io_ms,omitempty"`
 }
 
 func toStatsLine(s omega.Stats) statsLine {
@@ -229,6 +255,10 @@ func toStatsLine(s omega.Stats) statsLine {
 		MemPeakBytes:     s.MemPeakBytes,
 		SpillEscalations: s.SpillEscalations,
 		Backend:          s.Backend,
+		QueueWaitMs:      float64(s.QueueWaitNanos) / 1e6,
+		CompileMs:        float64(s.CompileNanos) / 1e6,
+		TTFRMs:           float64(s.TTFRNanos) / 1e6,
+		SpillIOMs:        float64(s.SpillIONanos) / 1e6,
 	}
 }
 
@@ -308,19 +338,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
 		return
 	}
+
+	// Every request gets an ID — the client's (sanitized: hostile input must
+	// not break log lines) or a fresh one — echoed in the response header,
+	// the done/error line and every log line, so one request can be chased
+	// across client, server log and trace.
+	reqStart := time.Now()
+	reqID := obs.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+
+	status := http.StatusOK
+	var backendUsed string
+	var queueWait, compileDur, ttfrDur time.Duration
+	defer func() {
+		s.metrics.observeRequest(status, backendUsed, time.Since(reqStart), queueWait, compileDur, ttfrDur)
+	}()
+	fail := func(code int, msg string) {
+		status = code
+		http.Error(w, msg, code)
+	}
+
 	text := r.FormValue("q")
 	if text == "" {
-		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		fail(http.StatusBadRequest, "missing q parameter")
 		return
 	}
 	mode, err := parseMode(r.FormValue("mode"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	limit, err := parseIntParam(r, "limit")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	if maxLimit > 0 && (limit == 0 || limit > maxLimit) {
@@ -328,34 +381,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	}
 	maxDist, err := parseIntParam(r, "maxdist")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	maxTuples, err := parseIntParam(r, "maxtuples")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	backend, err := omega.ParseBackend(r.FormValue("backend"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	softMem, err := parseBytesParam(r, "softmem", s.softMem)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	hardMem, err := parseBytesParam(r, "hardmem", s.hardMem)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
 	ctx := r.Context()
 	if tv := r.FormValue("timeout"); tv != "" {
 		d, err := time.ParseDuration(tv)
 		if err != nil || d <= 0 {
-			http.Error(w, fmt.Sprintf("invalid timeout %q", tv), http.StatusBadRequest)
+			fail(http.StatusBadRequest, fmt.Sprintf("invalid timeout %q", tv))
 			return
 		}
 		var cancel context.CancelFunc
@@ -363,10 +416,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		defer cancel()
 	}
 
-	pq, err := s.cache.Get(text, mode)
+	// trace=1 opts this request into span recording: the trace rides the
+	// context (queue/stream/quantum spans from the scheduler) and the exec
+	// options (exec/conjunct/bulk_index/psi_phase spans from the engine), and
+	// the summary tree comes back on the done line. Untraced requests keep tr
+	// nil, which every instrumented site treats as a single nil check.
+	var tr *obs.Trace
+	if r.FormValue("trace") == "1" {
+		tr = obs.NewTrace(reqID)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
+	planSpan := obs.NoSpan
+	if tr != nil {
+		planSpan = tr.Start(obs.Root, obs.SpanPlan)
+	}
+	planStart := time.Now()
+	pq, hit, err := s.cache.Lookup(text, mode)
+	compileDur = time.Since(planStart)
+	if tr != nil {
+		attr := int64(0)
+		if hit {
+			attr = 1
+		}
+		tr.SetAttr(planSpan, "cache_hit", attr)
+		tr.End(planSpan)
+	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
+	}
+
+	admSpan := obs.NoSpan
+	if tr != nil {
+		admSpan = tr.Start(obs.Root, obs.SpanAdmission)
 	}
 
 	// Under sustained overload the scheduler flags degraded mode and new
@@ -394,15 +477,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	if s.broker != nil {
 		lease, err := s.broker.Reserve(gauge, cancelCause, s.sched.RetryAfter())
 		if err != nil {
+			if tr != nil {
+				tr.End(admSpan)
+			}
 			secs := int(math.Ceil(s.sched.RetryAfter().Seconds()))
 			if secs < 1 {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		defer s.broker.Release(lease)
+	}
+	if tr != nil {
+		if degraded {
+			tr.SetAttr(admSpan, "degraded", 1)
+		}
+		tr.End(admSpan)
 	}
 
 	eo := omega.ExecOptions{
@@ -412,6 +504,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		Pool:      s.pool,
 		Mem:       gauge,
 		Backend:   backend,
+		Trace:     tr,
 	}
 
 	start := time.Now()
@@ -444,8 +537,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		})
 
 	elapsed := time.Since(start)
+	res.Stats.CompileNanos = int64(compileDur)
+	backendUsed = res.Stats.Backend
+	queueWait = time.Duration(res.Stats.QueueWaitNanos)
+	ttfrDur = time.Duration(res.Stats.TTFRNanos)
+
+	// The root request span closes here — the stream is over either way — so
+	// a summary rendered for the done line or the slow-query log has a
+	// settled duration.
+	var summary *obs.Summary
+	if tr != nil {
+		tr.End(obs.Root)
+		summary = tr.Summary()
+	}
+	s.logSlowQuery(reqID, text, res, err, elapsed, summary)
+
 	if err != nil {
-		s.logf("serve: query failed after %d rows in %.1fms: %v", res.Rows, float64(elapsed.Nanoseconds())/1e6, err)
+		s.logf("serve: query %s failed after %d rows in %.1fms: %v", reqID, res.Rows, float64(elapsed.Nanoseconds())/1e6, err)
 		if errors.Is(err, omega.ErrMemBudget) && s.broker != nil {
 			// Counted here (not in the broker's kill path) so hard-watermark
 			// aborts and victim kills both land in budget_aborts.
@@ -453,7 +561,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		}
 		if wrote {
 			// The status line is gone; report the failure in-band.
-			_ = enc.Encode(errorLine{Error: err.Error(), Rows: res.Rows})
+			_ = enc.Encode(errorLine{Error: err.Error(), RequestID: reqID, Rows: res.Rows, Trace: summary})
 			return
 		}
 		switch {
@@ -465,39 +573,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 				secs = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrSchedulerClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			fail(http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrStalled):
 			// The watchdog aborted a stuck execution; like a deadline, the
 			// server gave up on the upstream work.
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			fail(http.StatusGatewayTimeout, err.Error())
 		case errors.Is(err, omega.ErrDeadline):
-			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			fail(http.StatusGatewayTimeout, err.Error())
 		case errors.Is(err, omega.ErrCanceled):
 			// The client is gone; nothing useful to write.
+			status = 499 // nginx's client-closed-request code, metrics only
 		case errors.Is(err, omega.ErrMemBudget):
 			// The execution crossed its hard memory watermark, or the broker
 			// picked it as the pressure victim: the server shed the request's
 			// memory, not the request's correctness — retrying with a higher
 			// budget (or after load subsides) starts fresh.
-			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+			fail(http.StatusInsufficientStorage, err.Error())
 		case errors.Is(err, omega.ErrTupleBudget):
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			fail(http.StatusUnprocessableEntity, err.Error())
 		default:
 			// ErrInternal (recovered panics), ErrSpill (disk faults) and
 			// anything unclassified: the request failed, the server did not.
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			fail(http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
 	if !wrote {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	_ = enc.Encode(doneLine{Done: true, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Degraded: degraded, Stats: toStatsLine(res.Stats)})
-	s.logf("serve: %d rows in %.1fms (backend=%s popped=%d deferred=%d reinjected=%d phases=%d)",
-		res.Rows, float64(elapsed.Nanoseconds())/1e6, res.Stats.Backend,
-		res.Stats.TuplesPopped, res.Stats.Deferred, res.Stats.Reinjected, res.Stats.Phases)
+	_ = enc.Encode(doneLine{Done: true, RequestID: reqID, Rows: res.Rows, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6, Degraded: degraded, Stats: toStatsLine(res.Stats), Trace: summary})
+	s.logf("serve: %s %d rows in %.1fms (backend=%s popped=%d deferred=%d reinjected=%d phases=%d queue_wait=%.1fms ttfr=%.1fms)",
+		reqID, res.Rows, float64(elapsed.Nanoseconds())/1e6, res.Stats.Backend,
+		res.Stats.TuplesPopped, res.Stats.Deferred, res.Stats.Reinjected, res.Stats.Phases,
+		float64(res.Stats.QueueWaitNanos)/1e6, float64(res.Stats.TTFRNanos)/1e6)
+}
+
+// slowQueryLine is the structured slow-query log record (one JSON object per
+// slow request, successful or failed).
+type slowQueryLine struct {
+	RequestID string       `json:"request_id"`
+	Query     string       `json:"query"`
+	Error     string       `json:"error,omitempty"`
+	Rows      int          `json:"rows"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Stats     statsLine    `json:"stats"`
+	Trace     *obs.Summary `json:"trace,omitempty"`
+}
+
+// logSlowQuery emits the structured slow-query record when the request's
+// end-to-end latency reached the configured threshold.
+func (s *Server) logSlowQuery(reqID, text string, res Result, err error, elapsed time.Duration, summary *obs.Summary) {
+	if s.slowQuery <= 0 || elapsed < s.slowQuery {
+		return
+	}
+	line := slowQueryLine{
+		RequestID: reqID,
+		Query:     text,
+		Rows:      res.Rows,
+		ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6,
+		Stats:     toStatsLine(res.Stats),
+		Trace:     summary,
+	}
+	if err != nil {
+		line.Error = err.Error()
+	}
+	b, jerr := json.Marshal(line)
+	if jerr != nil {
+		return
+	}
+	s.logf("serve: slow query %s", b)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -529,20 +675,39 @@ func readRuntimeStats() runtimeStats {
 	return rs
 }
 
+// buildSection is the /statsz "build" section: what is running and since
+// when, mirroring the omega_build_info and process-start metrics.
+type buildSection struct {
+	Version   string    `json:"version"`
+	Revision  string    `json:"revision"`
+	GoVersion string    `json:"go_version"`
+	StartTime time.Time `json:"start_time"`
+}
+
 // statszPayload is the /statsz response body.
 type statszPayload struct {
-	Scheduler SchedulerStats   `json:"scheduler"`
-	PlanCache CacheStats       `json:"plan_cache"`
-	Pool      *omega.PoolStats `json:"pool,omitempty"`
-	MemBroker *BrokerStats     `json:"mem_broker,omitempty"`
-	Runtime   runtimeStats     `json:"runtime"`
+	Scheduler SchedulerStats             `json:"scheduler"`
+	PlanCache CacheStats                 `json:"plan_cache"`
+	Pool      *omega.PoolStats           `json:"pool,omitempty"`
+	MemBroker *BrokerStats               `json:"mem_broker,omitempty"`
+	Faults    map[string]fault.SiteStats `json:"faults,omitempty"`
+	Build     buildSection               `json:"build"`
+	Runtime   runtimeStats               `json:"runtime"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	version, revision, goVersion := buildInfo()
 	payload := statszPayload{
 		Scheduler: s.sched.Stats(),
 		PlanCache: s.cache.Stats(),
-		Runtime:   readRuntimeStats(),
+		Faults:    fault.Stats(),
+		Build: buildSection{
+			Version:   version,
+			Revision:  revision,
+			GoVersion: goVersion,
+			StartTime: s.metrics.start,
+		},
+		Runtime: readRuntimeStats(),
 	}
 	if s.pool != nil {
 		ps := s.pool.Stats()

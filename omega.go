@@ -58,6 +58,7 @@ import (
 	"omega/internal/core"
 	"omega/internal/graph"
 	"omega/internal/l4all"
+	"omega/internal/obs"
 	"omega/internal/ontology"
 	"omega/internal/query"
 	"omega/internal/rpq"
@@ -109,6 +110,16 @@ type (
 	// MemGauge aggregates an execution's accounted resident bytes and
 	// carries its memory watermarks; see ExecOptions.Mem and NewMemGauge.
 	MemGauge = core.MemGauge
+	// Trace records a request's phase spans; see ExecOptions.Trace and
+	// NewTrace. All methods are safe on a nil *Trace, and an execution
+	// without one pays a single nil check per instrumented site.
+	Trace = obs.Trace
+	// TraceSummary is a rendered span tree (Rows.TraceSummary); its Render
+	// method writes the indented text form, and it marshals to JSON for the
+	// serving layer's trace=1 responses.
+	TraceSummary = obs.Summary
+	// TraceSpan is one node of a TraceSummary's span tree.
+	TraceSpan = obs.SpanNode
 	// Backend selects the evaluation engine: ranked GetNext (the paper's
 	// machinery) or the bulk set-semantics backend for exhaustive exact
 	// scans. See Options.Backend and ExecOptions.Backend.
@@ -219,6 +230,12 @@ func NewEvalPool(max int) *EvalPool { return core.NewEvalPool(max) }
 // live bytes; plain callers set ExecOptions.SoftMemBytes/HardMemBytes and let
 // Exec create the gauge internally.
 func NewMemGauge(soft, hard int64) *MemGauge { return core.NewMemGauge(soft, hard) }
+
+// NewTrace starts a request trace whose root span opens immediately. Pass it
+// via ExecOptions.Trace to record the execution's phase spans, and read the
+// result with Rows.TraceSummary. id becomes the trace's request ID; an empty
+// id generates a fresh one.
+func NewTrace(id string) *Trace { return obs.NewTrace(id) }
 
 // NewGraphBuilder returns an empty graph builder.
 func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
