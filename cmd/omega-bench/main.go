@@ -8,7 +8,7 @@
 //	omega-bench -exp fig10,fig11 -yago-scale 0.2
 //
 // Experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig10 fig11 opt1 opt2 prep serve
-// bulk.
+// bulk par.
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"omega"
 	"omega/internal/bench"
 	"omega/internal/l4all"
 	"omega/internal/yago"
@@ -41,11 +42,12 @@ var experiments = []struct {
 	{"prep", "Prepared queries: compile-once / exec-many amortisation", func(c bench.Config) error { return bench.Prep(os.Stdout, c) }},
 	{"serve", "Serving layer: pooled evaluator state + scheduler (QPS, latency, allocs/request)", func(c bench.Config) error { return bench.Serve(os.Stdout, c) }},
 	{"bulk", "Bulk set-semantics backend vs ranked GetNext (exhaustive exact Q4–Q7)", func(c bench.Config) error { return bench.Bulk(os.Stdout, c) }},
+	{"par", "Parallel evaluation vs serial (exhaustive exact Q4–Q7, identity-gated on ordered emission)", func(c bench.Config) error { return bench.Par(os.Stdout, c) }},
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments (fig2,fig3,fig5..fig8,fig10,fig11,opt1,opt2,prep,serve,bulk) or 'all'")
+		exp        = flag.String("exp", "all", "comma-separated experiments (fig2,fig3,fig5..fig8,fig10,fig11,opt1,opt2,prep,serve,bulk,par) or 'all'")
 		scalesFlag = flag.String("scales", "L1,L2,L3,L4", "L4All scales to include")
 		yagoScale  = flag.Float64("yago-scale", 1.0, "YAGO size factor (1.0 ≈ 40k nodes)")
 		runs       = flag.Int("runs", 5, "runs per query (first discarded)")
@@ -53,6 +55,10 @@ func main() {
 		yagoBudget = flag.Int("yago-budget", 5_000_000, "tuple budget for YAGO APPROX runs (reproduces the paper's '?' failures; 0 = unlimited)")
 		jsonDir    = flag.String("json", "", "directory to write per-experiment BENCH_<exp>.json files (timings, answers, tuples added/popped)")
 	)
+	// Shared execution knobs from the canonical registry: a backend or
+	// parallelism pinned here applies engine-wide to every experiment that
+	// does not pin its own.
+	knobs := omega.BindExecFlags(flag.CommandLine, nil, "maxtuples", "backend", "parallel")
 	flag.Parse()
 
 	var scales []l4all.Scale
@@ -74,12 +80,20 @@ func main() {
 	if *yagoScale != 1.0 {
 		ycfg = ycfg.Scaled(*yagoScale)
 	}
+	var eo omega.ExecOptions
+	if err := knobs.Apply(&eo); err != nil {
+		fmt.Fprintf(os.Stderr, "omega-bench: %v\n", err)
+		os.Exit(2)
+	}
 	cfg := bench.Config{
 		Scales:     scales,
 		Proto:      bench.Protocol{Runs: *runs, BatchSize: 10, MaxAnswers: *maxAnswers},
 		Datasets:   bench.NewDatasets(ycfg),
 		YagoBudget: *yagoBudget,
 	}
+	cfg.Opts.MaxTuples = eo.MaxTuples
+	cfg.Opts.Backend = eo.Backend
+	cfg.Opts.Parallelism = eo.Parallelism
 	if *jsonDir != "" {
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "omega-bench: -json: %v\n", err)

@@ -65,8 +65,6 @@ func main() {
 		memBudget   = flag.Int64("mem-budget", 0, "server-wide accounted-bytes budget for the memory broker (0 = GOMEMLIMIT or off, -1 = off)")
 		memReserve  = flag.Int64("mem-reserve", 0, "per-request admission reservation in bytes (0 = budget / admission slots)")
 		memInterval = flag.Duration("mem-check-interval", 0, "memory-pressure monitor tick (0 = 100ms)")
-		softMem     = flag.Int64("soft-mem", 0, "default per-request soft memory watermark in bytes: degrade to disk spilling (0 = off)")
-		hardMem     = flag.Int64("hard-mem", 0, "default per-request hard memory watermark in bytes: abort with 507 (0 = off)")
 
 		slowQueryMs = flag.Int("slow-query-ms", 0, "log a structured slow-query line for requests at or above this latency in milliseconds (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
@@ -77,11 +75,17 @@ func main() {
 		distAware = flag.Bool("distance-aware", true, "enable §4.3 retrieval by distance")
 		disjunct  = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
 		rareSide  = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end")
-		budget    = flag.Int("max-tuples", 5_000_000, "per-request tuple budget (0 = unlimited)")
 		spill     = flag.Int("spill", 0, "spill D_R to disk beyond this many resident tuples (0 = off)")
 		spillDir  = flag.String("spill-dir", "", "parent directory for spill files (default: system temp)")
 		quiet     = flag.Bool("quiet", false, "suppress the per-request log")
 	)
+	// Per-request execution defaults — max-tuples, soft-mem, hard-mem,
+	// parallel — come from the shared knob registry, so the flags validate
+	// exactly like their HTTP parameter counterparts (which override them
+	// per request through the same registry).
+	knobs := omega.BindExecFlags(flag.CommandLine, map[string]string{
+		"maxtuples": "5000000",
+	}, "maxtuples", "softmem", "hardmem", "parallel")
 	flag.Parse()
 
 	// Boot-time janitor: reclaim spill directories a crashed predecessor left
@@ -101,11 +105,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var defaults omega.ExecOptions
+	if err := knobs.Apply(&defaults); err != nil {
+		fatal(err)
+	}
 	opts := omega.Options{
 		DistanceAware:  *distAware,
 		Disjunction:    *disjunct,
 		RareSide:       *rareSide,
-		MaxTuples:      *budget,
+		MaxTuples:      defaults.MaxTuples,
 		SpillThreshold: *spill,
 		SpillDir:       *spillDir,
 	}
@@ -133,8 +141,9 @@ func main() {
 		MemBudget:        *memBudget,
 		MemReserve:       *memReserve,
 		MemCheckInterval: *memInterval,
-		SoftMemBytes:     *softMem,
-		HardMemBytes:     *hardMem,
+		SoftMemBytes:     defaults.SoftMemBytes,
+		HardMemBytes:     defaults.HardMemBytes,
+		Parallelism:      defaults.Parallelism,
 		SlowQuery:        time.Duration(*slowQueryMs) * time.Millisecond,
 		Log:              logger,
 	})

@@ -34,19 +34,22 @@ func main() {
 		graphFile   = flag.String("graph", "", "graph file (omega-graph v1)")
 		ontFile     = flag.String("ontology", "", "ontology file (omega-ontology v1)")
 		queryText   = flag.String("query", "", "CRP query, e.g. '(?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)'")
-		mode        = flag.String("mode", "", "override every conjunct's mode: exact|approx|relax|flex")
-		limit       = flag.Int("limit", 100, "maximum number of answers (0 = all)")
 		distAware   = flag.Bool("distance-aware", false, "enable §4.3 retrieval by distance")
 		disjunct    = flag.Bool("disjunction", false, "enable §4.3 alternation-by-disjunction")
 		rareSide    = flag.Bool("rare-side", false, "evaluate (?X,R,?Y) conjuncts from the rarer end (extension)")
-		budget      = flag.Int("max-tuples", 0, "tuple budget (0 = unlimited)")
-		backend     = flag.String("backend", "auto", "evaluation engine: auto|ranked|bulk")
 		stats       = flag.Bool("stats", false, "print evaluation statistics")
 		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: run the query traced and print the plan, the span tree and the statistics")
 		explain     = flag.Bool("explain", false, "print the evaluation plan instead of running the query")
 		interactive = flag.Bool("interactive", false, "start the interactive console (paper's console layer)")
 		batch       = flag.Int("batch", 10, "answers per console batch (interactive mode)")
 	)
+	// The execution knobs — mode, limit, maxdist, max-tuples, backend,
+	// soft-mem, hard-mem, parallel — come from the shared knob registry, so
+	// they parse and validate exactly as their HTTP parameter counterparts.
+	knobs := omega.BindExecFlags(flag.CommandLine, map[string]string{
+		"limit":   "100",
+		"backend": "auto",
+	})
 	flag.Parse()
 
 	if *queryText == "" && !*interactive {
@@ -59,16 +62,17 @@ func main() {
 		fatal(err)
 	}
 
-	be, err := omega.ParseBackend(*backend)
-	if err != nil {
+	var eo omega.ExecOptions
+	if err := knobs.Apply(&eo); err != nil {
 		fatal(err)
 	}
 	opts := omega.Options{
 		DistanceAware: *distAware,
 		Disjunction:   *disjunct,
 		RareSide:      *rareSide,
-		MaxTuples:     *budget,
-		Backend:       be,
+		MaxTuples:     eo.MaxTuples,
+		Backend:       eo.Backend,
+		Parallelism:   eo.Parallelism,
 	}
 	eng := omega.NewEngine(g, ont).WithOptions(opts)
 
@@ -95,14 +99,6 @@ func main() {
 	pq, err := eng.PrepareText(*queryText)
 	if err != nil {
 		fatal(err)
-	}
-	eo := omega.ExecOptions{Limit: *limit}
-	if *mode != "" {
-		m, err := parseMode(*mode)
-		if err != nil {
-			fatal(err)
-		}
-		eo.Mode = omega.ModeOverride(m)
 	}
 	if *analyze {
 		// EXPLAIN ANALYZE: the plan first, then the traced run below.
@@ -145,23 +141,9 @@ func main() {
 	}
 	if *stats || *analyze {
 		s := rows.Stats()
-		fmt.Fprintf(os.Stderr, "backend=%s tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
-			s.Backend, s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)
+		fmt.Fprintf(os.Stderr, "backend=%s parallelism=%d shards=%d tuples added=%d popped=%d visited=%d phases=%d deferred=%d reinjected=%d neighbour-calls=%d cache-hits=%d\n",
+			s.Backend, s.Parallelism, s.Shards, s.TuplesAdded, s.TuplesPopped, s.VisitedSize, s.Phases, s.Deferred, s.Reinjected, s.NeighborCalls, s.CacheHits)
 	}
-}
-
-func parseMode(s string) (omega.Mode, error) {
-	switch strings.ToLower(s) {
-	case "exact":
-		return omega.Exact, nil
-	case "approx":
-		return omega.Approx, nil
-	case "relax":
-		return omega.Relax, nil
-	case "flex":
-		return omega.Flex, nil
-	}
-	return omega.Exact, fmt.Errorf("omega: unknown mode %q", s)
 }
 
 func loadData(data, graphFile, ontFile string) (*omega.Graph, *omega.Ontology, error) {

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+
+	"omega/internal/automaton"
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/ontology"
+	"omega/internal/query"
+)
+
+// parWorkers is the worker count the parallel arm of the experiment runs at.
+const parWorkers = 8
+
+// orderedRows evaluates text exhaustively in exact mode and returns the
+// emission as ordered row keys (bindings plus distance, in emission order).
+// Unlike answerKeys it does NOT sort: the parallel experiment's identity gate
+// is on the byte-identical ordered sequence, which is the parallel paths'
+// stronger contract.
+func orderedRows(g *graph.Graph, ont *ontology.Ontology, text string, opts core.Options) ([]string, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	for i := range q.Conjuncts {
+		q.Conjuncts[i].Mode = automaton.Exact
+	}
+	it, err := core.OpenQuery(g, ont, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []string
+	for {
+		a, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := ""
+		for _, n := range a.Nodes {
+			k += fmt.Sprintf("%d|", n)
+		}
+		rows = append(rows, fmt.Sprintf("%sd%d", k, a.Dist))
+	}
+	return rows, nil
+}
+
+// Par renders the parallel-evaluation experiment: the variable-subject study
+// queries (Q4–Q7) evaluated exhaustively in exact mode, serial vs parallel at
+// 8 workers, for both the sharded ranked path and the block-fanned bulk path,
+// on each configured L4All scale. Every pairing is gated on byte-identical
+// ordered emission — a timing row is only reported after the parallel run
+// replayed the serial sequence exactly — and the parallel record carries the
+// speedup.
+func Par(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	// Speedup is bounded by min(workers, cores): on a single-core runner the
+	// experiment degenerates to an overhead measurement (the identity gate
+	// still holds), so record the hardware the numbers were taken on.
+	fmt.Fprintf(w, "%d worker(s), %d CPU(s) available to the runtime\n", parWorkers, runtime.GOMAXPROCS(0))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scale\tQuery\tBackend\tAnswers\tSerial (ms)\tParallel×8 (ms)\tSpeedup")
+	for _, s := range cfg.Scales {
+		g, ont := cfg.Datasets.L4All(s)
+		for _, q := range bulkQueries() {
+			for _, backend := range []core.Backend{core.BackendRanked, core.BackendBulk} {
+				sOpts := cfg.Opts
+				sOpts.Backend = backend
+				sOpts.Parallelism = 1
+				pOpts := sOpts
+				pOpts.Parallelism = parWorkers
+
+				serial, err := orderedRows(g, ont, q.Text, sOpts)
+				if err != nil {
+					return fmt.Errorf("bench: par: %s/%s %v serial: %w", s, q.ID, backend, err)
+				}
+				par, err := orderedRows(g, ont, q.Text, pOpts)
+				if err != nil {
+					return fmt.Errorf("bench: par: %s/%s %v parallel: %w", s, q.ID, backend, err)
+				}
+				if len(serial) != len(par) {
+					return fmt.Errorf("bench: par: %s/%s %v emission differs: serial %d rows, parallel %d rows", s, q.ID, backend, len(serial), len(par))
+				}
+				for i := range serial {
+					if serial[i] != par[i] {
+						return fmt.Errorf("bench: par: %s/%s %v emission differs at row %d: serial %q, parallel %q", s, q.ID, backend, i, serial[i], par[i])
+					}
+				}
+
+				mr, err := Run(g, ont, s.String(), q.ID, q.Text, automaton.Exact, sOpts, cfg.Proto)
+				if err != nil {
+					return err
+				}
+				mp, err := Run(g, ont, s.String(), fmt.Sprintf("%s@par%d", q.ID, parWorkers), q.Text, automaton.Exact, pOpts, cfg.Proto)
+				if err != nil {
+					return err
+				}
+				if mp.Total > 0 {
+					mp.Speedup = float64(mr.Total) / float64(mp.Total)
+				}
+				cfg.record(mr)
+				cfg.record(mp)
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%.1f×\n",
+					s, q.ID, backend, mp.Answers, ms(mr.Total.Nanoseconds()), ms(mp.Total.Nanoseconds()), mp.Speedup)
+			}
+		}
+	}
+	return tw.Flush()
+}

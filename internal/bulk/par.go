@@ -1,0 +1,247 @@
+package bulk
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errInterrupted is returned by ParRun.Next when the worker group exits
+// before delivering every block and no worker reported an error — only
+// reachable through Close racing a Next, which the core layer never does.
+var errInterrupted = errors.New("bulk: parallel run interrupted")
+
+// ParConfig configures a ParRun's worker group. The hooks exist for the core
+// layer's governance; both may be nil.
+type ParConfig struct {
+	// Workers is the requested worker count; the effective count is
+	// min(Workers, Blocks) and at least 1.
+	Workers int
+	// OnStep, when non-nil, is called once per worker at spawn and must
+	// return that worker's Run.OnStep hook (budgets, memory accounting,
+	// cancellation, failpoints). Each worker gets its own closure so the
+	// hook can keep per-worker state without locking.
+	OnStep func(worker int) func(resident int64, added int) error
+	// OnBlock, when non-nil, runs before a worker evaluates a claimed
+	// block; a non-nil error fails the whole run with it (the bulk.block
+	// failpoint site hooks in here).
+	OnBlock func(worker, block int) error
+}
+
+// parMsg is one evaluated block in flight from a worker to the merge: the
+// pairs are a copy owned by the receiver (Run reuses its output slice).
+type parMsg struct {
+	block int
+	pairs []Pair
+	err   error
+}
+
+// ParRun evaluates the blocks of one Index across a bounded worker group,
+// re-emitting them in ascending block order — byte-identical to a serial
+// Run draining NextBlock. Workers claim block indices from a shared atomic
+// counter (dynamic load balancing: block costs vary wildly with the size of
+// each block's reachable set) and each runs its own Run over the shared
+// immutable Index. Next must be called from a single goroutine.
+type ParRun struct {
+	ix      *Index
+	cfg     ParConfig
+	workers int
+
+	claim atomic.Int64 // next unclaimed block index
+	out   chan parMsg
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	started  bool
+	stopOnce sync.Once
+
+	// Merge state (single consumer): blocks arriving ahead of the emission
+	// cursor park in pending until their turn.
+	pending   map[int][]Pair
+	nextEmit  int
+	waitNanos int64
+	failed    error
+
+	mu    sync.Mutex // guards stats folding at worker exit
+	stats Stats
+}
+
+// NewParRun prepares a parallel evaluation of ix. Workers spawn lazily on the
+// first Next, so constructing one is cheap.
+func NewParRun(ix *Index, cfg ParConfig) *ParRun {
+	w := cfg.Workers
+	if b := ix.Blocks(); w > b {
+		w = b
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &ParRun{
+		ix:      ix,
+		cfg:     cfg,
+		workers: w,
+		out:     make(chan parMsg, w),
+		stop:    make(chan struct{}),
+		pending: map[int][]Pair{},
+	}
+}
+
+// Workers returns the effective worker count.
+func (pr *ParRun) Workers() int { return pr.workers }
+
+// WaitNanos returns the time the merge spent blocked on worker deliveries.
+func (pr *ParRun) WaitNanos() int64 { return pr.waitNanos }
+
+// Stats returns the counters folded from every exited worker. After Next has
+// reported exhaustion (or an error) the totals are exact.
+func (pr *ParRun) Stats() Stats {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.stats
+}
+
+func (pr *ParRun) start() {
+	pr.started = true
+	pr.wg.Add(pr.workers)
+	for w := 0; w < pr.workers; w++ {
+		go pr.worker(w)
+	}
+	go func() {
+		pr.wg.Wait()
+		close(pr.out)
+	}()
+}
+
+func (pr *ParRun) worker(w int) {
+	defer pr.wg.Done()
+	r := NewRun(pr.ix)
+	if pr.cfg.OnStep != nil {
+		r.OnStep = pr.cfg.OnStep(w)
+	}
+	defer func() {
+		pr.mu.Lock()
+		pr.foldLocked(r.Stats)
+		pr.mu.Unlock()
+	}()
+	blocks := pr.ix.Blocks()
+	for {
+		select {
+		case <-pr.stop:
+			return
+		default:
+		}
+		b := int(pr.claim.Add(1) - 1)
+		if b >= blocks {
+			return
+		}
+		msg := parMsg{block: b}
+		if pr.cfg.OnBlock != nil {
+			msg.err = pr.cfg.OnBlock(w, b)
+		}
+		if msg.err == nil {
+			var pairs []Pair
+			var ok bool
+			pairs, ok, msg.err = r.RunBlock(b)
+			if msg.err == nil && !ok {
+				return
+			}
+			if msg.err == nil {
+				msg.pairs = append([]Pair(nil), pairs...)
+			}
+		}
+		select {
+		case pr.out <- msg:
+		case <-pr.stop:
+			return
+		}
+		if msg.err != nil {
+			return
+		}
+	}
+}
+
+func (pr *ParRun) foldLocked(s Stats) {
+	pr.stats.Added += s.Added
+	pr.stats.Frontier += s.Frontier
+	pr.stats.Neighbor += s.Neighbor
+	pr.stats.Levels += s.Levels
+	pr.stats.Blocks += s.Blocks
+	pr.stats.Pairs += s.Pairs
+}
+
+// Next returns the next block's pairs in ascending block order. The returned
+// slice is owned by the caller. ok is false after the last block; the first
+// worker error fails the run sticky, with every worker joined before Next
+// returns it (so per-worker governance state is quiescent).
+func (pr *ParRun) Next() (pairs []Pair, ok bool, err error) {
+	if pr.failed != nil {
+		return nil, false, pr.failed
+	}
+	if !pr.started {
+		pr.start()
+	}
+	for {
+		if ps, held := pr.pending[pr.nextEmit]; held {
+			delete(pr.pending, pr.nextEmit)
+			pr.nextEmit++
+			return ps, true, nil
+		}
+		if pr.nextEmit >= pr.ix.Blocks() {
+			pr.wg.Wait()
+			return nil, false, nil
+		}
+		t0 := time.Now()
+		msg, open := <-pr.out
+		pr.waitNanos += time.Since(t0).Nanoseconds()
+		if !open {
+			if pr.failed == nil {
+				pr.failed = errInterrupted
+			}
+			return nil, false, pr.failed
+		}
+		if msg.err != nil {
+			pr.fail(msg.err)
+			return nil, false, pr.failed
+		}
+		pr.pending[msg.block] = msg.pairs
+	}
+}
+
+func (pr *ParRun) fail(err error) {
+	pr.failed = err
+	pr.signalStop()
+	// Unblock workers parked on the send before joining them.
+	go func() {
+		for range pr.out {
+		}
+	}()
+	pr.wg.Wait()
+}
+
+func (pr *ParRun) signalStop() {
+	pr.stopOnce.Do(func() { close(pr.stop) })
+}
+
+// Close stops the worker group and joins it. Safe to call at any point,
+// including before the first Next and after exhaustion.
+func (pr *ParRun) Close() {
+	if !pr.started {
+		pr.started = true // a later Next must not spawn workers
+		close(pr.out)
+		pr.signalStop()
+		if pr.failed == nil {
+			pr.failed = errInterrupted
+		}
+		return
+	}
+	pr.signalStop()
+	go func() {
+		for range pr.out {
+		}
+	}()
+	pr.wg.Wait()
+	if pr.failed == nil {
+		pr.failed = errInterrupted
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"omega/internal/bulk"
 	"omega/internal/dstruct"
@@ -13,6 +14,10 @@ import (
 // fpBulkStep fires once per bulk BFS level (and once per block seeding); it
 // is the bulk backend's counterpart of core.row in the chaos suite.
 const fpBulkStep = "bulk.step"
+
+// fpBulkBlock fires before a parallel worker evaluates a claimed lane block —
+// the chaos-suite hook for worker-side faults inside the bulk fan-out.
+const fpBulkBlock = "bulk.block"
 
 // bulkIterator adapts a bulk.Run to the conjunct Iterator contract: answers
 // stream block by block, all at distance 0 (eligibility guarantees it), in
@@ -26,7 +31,8 @@ type bulkIterator struct {
 	ctx  context.Context // nil when not cancelable (see watchable)
 
 	autIdx int
-	run    *bulk.Run
+	run    *bulk.Run       // serial path (one worker, or a single block)
+	par    *bulk.ParRun    // parallel path (Parallelism > 1 and > 1 block)
 	seen   *dstruct.U64Set // pair de-dup across alternands; nil for one automaton
 
 	pairs []bulk.Pair // current block, emitted in place (single automaton)
@@ -34,8 +40,11 @@ type bulkIterator struct {
 	buf   []Answer // current block after seen-filtering (multi-automaton)
 	bi    int
 
-	tuples  int   // product lane-bits set, against Options.MaxTuples
-	lastMem int64 // bytes currently accounted into the gauge
+	tuples  atomic.Int64 // product lane-bits set, against Options.MaxTuples
+	lastMem int64        // bytes accounted by the serial run
+	parMem  []int64      // bytes accounted per parallel worker
+	shards  int          // parallel workers engaged, summed across automata
+	parWait int64        // merge time blocked on worker deliveries
 
 	acc      bulk.Stats // completed runs
 	failed   error
@@ -71,11 +80,23 @@ func (b *bulkIterator) Next() (Answer, bool, error) {
 		if b.done {
 			return Answer{}, false, nil
 		}
-		if b.run == nil {
-			b.run = bulk.NewRun(b.bulkIdx())
-			b.run.OnStep = b.onStep
+		if b.run == nil && b.par == nil {
+			ix := b.bulkIdx()
+			if k := b.opts.Parallelism; k > 1 && ix.Blocks() > 1 {
+				b.startPar(ix, k)
+			} else {
+				b.run = bulk.NewRun(ix)
+				b.run.OnStep = b.onStep
+			}
 		}
-		pairs, ok, err := b.run.NextBlock()
+		var pairs []bulk.Pair
+		var ok bool
+		var err error
+		if b.par != nil {
+			pairs, ok, err = b.par.Next()
+		} else {
+			pairs, ok, err = b.run.NextBlock()
+		}
 		if err != nil {
 			b.fail(err)
 			return Answer{}, false, b.failed
@@ -132,8 +153,28 @@ func (b *bulkIterator) bulkIdx() *bulk.Index {
 // no disk path, so only the hard watermark protects them (consistently with
 // the plain in-memory D_R).
 func (b *bulkIterator) onStep(resident int64, added int) error {
-	b.tuples += added
-	if b.opts.MaxTuples > 0 && b.tuples > b.opts.MaxTuples {
+	if err := b.checkStep(added); err != nil {
+		return err
+	}
+	if m := b.opts.mem; m != nil {
+		res := resident + b.plan.bulkIndex(b.autIdx).Bytes()
+		if d := res - b.lastMem; d != 0 {
+			m.add(d)
+			b.lastMem = res
+		}
+		if live := m.LiveBytes(); m.hard > 0 && live > m.hard {
+			return fmt.Errorf("%w: %d live bytes over hard watermark %d", ErrMemBudget, live, m.hard)
+		}
+	}
+	return nil
+}
+
+// checkStep is the backend-independent part of the per-level governance:
+// tuple budget (one atomic counter shared by every worker, so the budget
+// stays per-execution rather than per-worker), cancellation, and the
+// bulk.step / mem.hard failpoints.
+func (b *bulkIterator) checkStep(added int) error {
+	if t := b.tuples.Add(int64(added)); b.opts.MaxTuples > 0 && t > int64(b.opts.MaxTuples) {
 		return ErrTupleBudget
 	}
 	if b.ctx != nil {
@@ -149,31 +190,89 @@ func (b *bulkIterator) onStep(resident int64, added int) error {
 			return fmt.Errorf("%w: %w", ErrMemBudget, err)
 		}
 	}
-	if m := b.opts.mem; m != nil {
-		res := resident + b.plan.bulkIndex(b.autIdx).Bytes()
-		if d := res - b.lastMem; d != 0 {
-			m.add(d)
-			b.lastMem = res
+	return nil
+}
+
+// startPar fans the current automaton's lane blocks across a bounded worker
+// group. Workers re-emit blocks in ascending index order, so the answer
+// stream is byte-identical to the serial NextBlock loop; each worker runs the
+// same per-level governance with its own slot in the memory accounting (the
+// immutable index is charged once, through worker 0).
+func (b *bulkIterator) startPar(ix *bulk.Index, k int) {
+	ixBytes := ix.Bytes()
+	b.par = bulk.NewParRun(ix, bulk.ParConfig{
+		Workers: k,
+		OnStep: func(worker int) func(resident int64, added int) error {
+			return b.parStep(worker, ixBytes)
+		},
+		OnBlock: b.onBlock,
+	})
+	b.parMem = make([]int64, b.par.Workers())
+	b.shards += b.par.Workers()
+}
+
+func (b *bulkIterator) parStep(worker int, ixBytes int64) func(resident int64, added int) error {
+	return func(resident int64, added int) error {
+		if err := b.checkStep(added); err != nil {
+			return err
 		}
-		if live := m.LiveBytes(); m.hard > 0 && live > m.hard {
-			return fmt.Errorf("%w: %d live bytes over hard watermark %d", ErrMemBudget, live, m.hard)
+		if m := b.opts.mem; m != nil {
+			res := resident
+			if worker == 0 {
+				res += ixBytes
+			}
+			if d := res - b.parMem[worker]; d != 0 {
+				m.add(d)
+				b.parMem[worker] = res
+			}
+			if live := m.LiveBytes(); m.hard > 0 && live > m.hard {
+				return fmt.Errorf("%w: %d live bytes over hard watermark %d", ErrMemBudget, live, m.hard)
+			}
+		}
+		return nil
+	}
+}
+
+func (b *bulkIterator) onBlock(worker, block int) error {
+	if fault.Enabled() {
+		if err := fault.Inject(fpBulkBlock); err != nil {
+			return fmt.Errorf("bulk block %d (worker %d): %w", block, worker, err)
 		}
 	}
 	return nil
 }
 
 func (b *bulkIterator) accumulate() {
+	if b.par != nil {
+		b.par.Close() // joins the worker group; a no-op after exhaustion
+		b.fold(b.par.Stats())
+		b.parWait += b.par.WaitNanos()
+		// Workers are quiescent now; hand their accounted bytes back.
+		if m := b.opts.mem; m != nil {
+			for i, v := range b.parMem {
+				if v != 0 {
+					m.add(-v)
+					b.parMem[i] = 0
+				}
+			}
+		}
+		b.par = nil
+		return
+	}
 	if b.run == nil {
 		return
 	}
-	s := b.run.Stats
+	b.fold(b.run.Stats)
+	b.run = nil
+}
+
+func (b *bulkIterator) fold(s bulk.Stats) {
 	b.acc.Added += s.Added
 	b.acc.Frontier += s.Frontier
 	b.acc.Neighbor += s.Neighbor
 	b.acc.Levels += s.Levels
 	b.acc.Blocks += s.Blocks
 	b.acc.Pairs += s.Pairs
-	b.run = nil
 }
 
 func (b *bulkIterator) fail(err error) {
@@ -223,8 +322,8 @@ func (b *bulkIterator) Abort(err error) {
 // of D_R insertions), Frontier plays TuplesPopped (rows expanded).
 func (b *bulkIterator) Stats() Stats {
 	acc := b.acc
-	if b.run != nil {
-		s := b.run.Stats
+	wait := b.parWait
+	add := func(s bulk.Stats) {
 		acc.Added += s.Added
 		acc.Frontier += s.Frontier
 		acc.Neighbor += s.Neighbor
@@ -232,13 +331,22 @@ func (b *bulkIterator) Stats() Stats {
 		acc.Blocks += s.Blocks
 		acc.Pairs += s.Pairs
 	}
+	if b.run != nil {
+		add(b.run.Stats)
+	}
+	if b.par != nil {
+		add(b.par.Stats()) // exited workers only; exact after exhaustion
+		wait += b.par.WaitNanos()
+	}
 	st := Stats{
-		TuplesAdded:   int(acc.Added),
-		TuplesPopped:  int(acc.Frontier),
-		VisitedSize:   int(acc.Added),
-		Phases:        1,
-		NeighborCalls: int(acc.Neighbor),
-		Backend:       "bulk",
+		TuplesAdded:    int(acc.Added),
+		TuplesPopped:   int(acc.Frontier),
+		VisitedSize:    int(acc.Added),
+		Phases:         1,
+		NeighborCalls:  int(acc.Neighbor),
+		Backend:        "bulk",
+		Shards:         b.shards,
+		MergeWaitNanos: wait,
 	}
 	if m := b.opts.mem; m != nil {
 		st.MemPeakBytes = m.PeakBytes()

@@ -9,6 +9,7 @@ import (
 	"omega/internal/bitset"
 	"omega/internal/bulk"
 	"omega/internal/graph"
+	"omega/internal/obs"
 	"omega/internal/ontology"
 	"omega/internal/rpq"
 )
@@ -45,6 +46,13 @@ type conjunctPlan struct {
 
 	bulkMu sync.Mutex
 	bulkIx []*bulk.Index // lazily built per automaton, shared by executions
+
+	// Sharded-evaluation cache: the Case 3 source population in serial
+	// emission order (see parSources), built once per plan like the bulk
+	// index.
+	parMu   sync.Mutex
+	parSrc  []graph.NodeID
+	parDone bool
 }
 
 // bulkIndex returns (building and caching on first use) the bulk backend's
@@ -246,7 +254,13 @@ func (p *conjunctPlan) open(ctx context.Context, opts *Options, maxDist int32, b
 				it = newDistanceAware(p.newEvaluator(ctx, opts, 0, 0), phi, maxPsi)
 			}
 		default:
-			it = p.newEvaluator(ctx, opts, 0, -1)
+			if k := opts.Parallelism; k > 1 && p.parEligible(opts) {
+				// Sharded ranked evaluation: per-shard evaluators merged
+				// back into the serial emission order (see parallel.go).
+				it = newParIterator(ctx, p, opts, k)
+			} else {
+				it = p.newEvaluator(ctx, opts, 0, -1)
+			}
 		}
 	}
 	if p.sameVar {
@@ -348,6 +362,8 @@ func (s swapIterator) Close() error { return closeIter(s.it) }
 
 func (s swapIterator) Abort(err error) { abortIter(s.it, err) }
 
+func (s swapIterator) setTraceParent(sp obs.SpanID) { setParentSpan(s.it, sp) }
+
 // sameVarIterator keeps only reflexive answers, for conjuncts of the form
 // (?X, R, ?X).
 type sameVarIterator struct{ it Iterator }
@@ -366,6 +382,8 @@ func (s sameVarIterator) Stats() Stats { return statsOf(s.it) }
 func (s sameVarIterator) Close() error { return closeIter(s.it) }
 
 func (s sameVarIterator) Abort(err error) { abortIter(s.it, err) }
+
+func (s sameVarIterator) setTraceParent(sp obs.SpanID) { setParentSpan(s.it, sp) }
 
 func statsOf(it Iterator) Stats {
 	if sr, ok := it.(StatsReporter); ok {

@@ -274,6 +274,15 @@ type Options struct {
 	// sets for eligible queries; only the (distance-0) emission order
 	// differs.
 	Backend Backend
+	// Parallelism is the engine-level default worker count per execution:
+	// bulk lane blocks fan across this many goroutines, eligible ranked
+	// conjuncts shard their seed population across this many per-shard
+	// evaluators merged back in the serial emission order, and
+	// multi-conjunct executions prefetch each conjunct's stream
+	// concurrently. Emission stays byte-identical to serial at any value.
+	// 0 or 1 means serial; values are clamped to [1, 64].
+	// ExecOptions.Parallelism overrides it per execution.
+	Parallelism int
 
 	// mem is the per-execution memory gauge, set by Prepared.Exec from
 	// ExecOptions (never by engine-level configuration: watermarks are a
@@ -300,6 +309,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 100
+	}
+	if o.Parallelism > maxParallelism {
+		o.Parallelism = maxParallelism
 	}
 	return o
 }
@@ -376,6 +388,16 @@ type Stats struct {
 	QueueWaitNanos int64
 	CompileNanos   int64
 	TTFRNanos      int64
+	// Parallelism is the resolved worker count the execution ran with
+	// (1 = serial; a property of the whole request, not summed). Shards
+	// counts the per-shard ranked evaluators and parallel bulk workers that
+	// actually engaged, summed across conjuncts — zero when every conjunct
+	// took the serial path despite Parallelism > 1 (ineligible shape or a
+	// seed population too small to shard). MergeWaitNanos is time the k-way
+	// merge and block-reorder consumers spent blocked on worker channels.
+	Parallelism    int
+	Shards         int
+	MergeWaitNanos int64
 }
 
 // StatsReporter is implemented by iterators that can report Stats.

@@ -104,6 +104,15 @@ type evaluator struct {
 }
 
 func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evaluator {
+	return newEvaluatorHinted(g, aut, opts, 1)
+}
+
+// newEvaluatorHinted is newEvaluator with the table size hints divided by
+// div. A shard evaluator only ever walks 1/div of the source population, so
+// hinting each shard with the full product graph would multiply the
+// execution's table footprint — allocation, clearing and cache pressure — by
+// the shard count.
+func newEvaluatorHinted(g *graph.Graph, aut *automaton.Compiled, opts *Options, div int) *evaluator {
 	// Hint the visited set with the product graph the search walks
 	// (data-graph nodes × automaton states) and the answer registry with one
 	// binding per node: once a table grows past the trust threshold it
@@ -117,10 +126,15 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 		psi:  -1,
 	}
 	visHint := g.NumNodes() * int(aut.NumStates)
+	ansHint := g.NumNodes()
+	if div > 1 {
+		visHint /= div
+		ansHint /= div
+	}
 	if opts.Pool != nil && opts.SpillThreshold == 0 && !opts.RefDict {
 		// Pooled per-run state: disk-backed dictionaries and the RefDict
 		// differential reference keep their dedicated construction below.
-		ev.state = opts.Pool.get(opts.NoFinalFirst, visHint, g.NumNodes())
+		ev.state = opts.Pool.get(opts.NoFinalFirst, visHint, ansHint)
 		ev.dr = ev.state.dict
 		ev.visited = ev.state.visited
 		ev.answers = ev.state.answers
@@ -128,7 +142,7 @@ func newEvaluator(g *graph.Graph, aut *automaton.Compiled, opts *Options) *evalu
 		return ev
 	}
 	ev.visited = dstruct.NewVisitedSized(visHint)
-	ev.answers = dstruct.NewAnswersSized(g.NumNodes())
+	ev.answers = dstruct.NewAnswersSized(ansHint)
 	switch {
 	case opts.SpillThreshold > 0:
 		sd, err := dstruct.NewSpillDict(opts.SpillThreshold, opts.SpillDir, opts.NoFinalFirst)

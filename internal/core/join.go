@@ -338,6 +338,8 @@ func aggregateStats(its []Iterator) Stats {
 		s.SpillEscalations += cs.SpillEscalations
 		s.SpillIONanos += cs.SpillIONanos
 		s.SpillIOBytes += cs.SpillIOBytes
+		s.Shards += cs.Shards
+		s.MergeWaitNanos += cs.MergeWaitNanos
 		if cs.VisitedSize > s.VisitedSize {
 			s.VisitedSize = cs.VisitedSize
 		}

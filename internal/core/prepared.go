@@ -84,6 +84,18 @@ type ExecOptions struct {
 	// ranked for conjuncts the bulk engine cannot evaluate (non-zero-cost
 	// plans). Stats.Backend reports what actually ran.
 	Backend Backend
+	// Parallelism overrides Options.Parallelism for this execution when
+	// positive (0 inherits the engine default). At K > 1, bulk conjuncts fan
+	// their lane blocks across K workers, eligible ranked conjuncts shard
+	// their seed population across up to K per-shard evaluators merged back
+	// into the serial emission order, and multi-conjunct executions prefetch
+	// conjunct streams concurrently. Emission is byte-identical to serial at
+	// any value; conjuncts whose shape the parallel paths cannot reproduce
+	// exactly simply run serial (Stats.Shards reports what engaged). Values
+	// are clamped to [1, 64]. Note MaxTuples is enforced per worker under
+	// sharding, so a parallel run may admit up to K× the budget before
+	// tripping it.
+	Parallelism int
 }
 
 // planSet is one fully compiled variant of a prepared query: the (possibly
@@ -268,6 +280,10 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	// set-semantics engine — a limited execution wants streamed answers.
 	req := resolveBackend(eo.Backend, p.opts.Backend)
 	exhaustive := eo.Limit == 0 && eo.MaxDist == 0
+	// Parallelism: the per-execution request layered over the engine default,
+	// clamped. The resolved count rides in the execution's Options so every
+	// iterator below (bulk fan-out, ranked sharding) reads one value.
+	ex.opts.Parallelism = resolveParallelism(eo.Parallelism, p.opts.Parallelism)
 	ex.its = make([]Iterator, len(ps.plans))
 	ex.backends = make([]Backend, len(ps.plans))
 	if ex.tr != nil {
@@ -276,7 +292,15 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 	for i, plan := range ps.plans {
 		dec := plan.chooseBackend(req, exhaustive)
 		ex.backends[i] = dec.backend
-		ex.its[i] = plan.open(ctx, &ex.opts, eo.MaxDist, dec.backend)
+		it := plan.open(ctx, &ex.opts, eo.MaxDist, dec.backend)
+		if len(ps.plans) > 1 && ex.opts.Parallelism > 1 {
+			// Concurrent conjunct evaluation: each conjunct prefetches its
+			// stream from its own goroutine through a bounded buffer; the
+			// rank join's sequential peek order — and therefore its output —
+			// is unchanged.
+			it = newPrefetchIterator(it)
+		}
+		ex.its[i] = it
 		if ex.tr != nil {
 			sp := ex.tr.Start(ex.execSpan, obs.SpanConjunct)
 			ex.tr.SetAttr(sp, "idx", int64(i))
@@ -284,6 +308,9 @@ func (p *Prepared) Exec(ctx context.Context, eo ExecOptions) (*Execution, error)
 				ex.tr.SetAttr(sp, "bulk", 1)
 			}
 			ex.conjSpans[i] = sp
+			// Shard spans of a sharded ranked conjunct nest under its
+			// conjunct span (created only now, after open).
+			setParentSpan(it, sp)
 		}
 	}
 	q := ps.q
@@ -419,6 +446,9 @@ func (e *Execution) finishSpans() {
 		if s.SpillEscalations > 0 {
 			e.tr.SetAttr(sp, "spill_escalations", int64(s.SpillEscalations))
 		}
+		if s.Shards > 0 {
+			e.tr.SetAttr(sp, "shards", int64(s.Shards))
+		}
 		if s.SpillIONanos > 0 {
 			e.tr.SetAttr(sp, "spill_io_us", s.SpillIONanos/1e3)
 			e.tr.SetAttr(sp, "spill_io_bytes", s.SpillIOBytes)
@@ -496,6 +526,7 @@ func (e *Execution) Stats() Stats {
 		s = sr.Stats()
 	}
 	s.Backend = backendsLabel(e.backends)
+	s.Parallelism = e.opts.Parallelism
 	if e.ttfr > 0 {
 		s.TTFRNanos = int64(e.ttfr)
 	}

@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
 	"omega"
@@ -78,6 +77,10 @@ type Config struct {
 	// (507). 0 disables either.
 	SoftMemBytes int64
 	HardMemBytes int64
+	// Parallelism is the default per-request worker count applied when the
+	// request carries no parallel parameter; see omega.ExecOptions.
+	// 0 means serial.
+	Parallelism int
 	// SlowQuery, when positive, arms the slow-query log: every request whose
 	// end-to-end latency reaches the threshold is logged as one structured
 	// JSON line (request ID, query text, timings, evaluation counters) via
@@ -108,6 +111,7 @@ type Server struct {
 	degDist   int   // degraded-mode maxdist clamp (0 = no clamp)
 	softMem   int64 // default per-request soft memory watermark (0 = none)
 	hardMem   int64 // default per-request hard memory watermark (0 = none)
+	parallel  int   // default per-request worker count (0 = serial)
 	slowQuery time.Duration
 	metrics   *serverMetrics
 	logf      func(format string, args ...any)
@@ -137,6 +141,7 @@ func New(cfg Config) *Server {
 		degDist:   cfg.DegradedMaxDist,
 		softMem:   cfg.SoftMemBytes,
 		hardMem:   cfg.HardMemBytes,
+		parallel:  cfg.Parallelism,
 		slowQuery: cfg.SlowQuery,
 		logf:      func(string, ...any) {},
 	}
@@ -235,6 +240,13 @@ type statsLine struct {
 	// Backend reports which evaluation engine ran: "ranked", "bulk", or
 	// "mixed" when a multi-conjunct plan split.
 	Backend string `json:"backend,omitempty"`
+	// Parallelism is the execution's resolved worker count (absent when
+	// serial); Shards counts the shard evaluators and bulk workers that
+	// actually engaged; MergeWaitMs is time the consumer spent waiting on
+	// worker output in the ordered merges.
+	Parallelism int     `json:"parallelism,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	MergeWaitMs float64 `json:"merge_wait_ms,omitempty"`
 	// Request-level latency phases: admission → first worker turn, plan-cache
 	// lookup (including compilation on a miss), admission → first row, and
 	// time spent on spill-file I/O.
@@ -245,6 +257,10 @@ type statsLine struct {
 }
 
 func toStatsLine(s omega.Stats) statsLine {
+	par := s.Parallelism
+	if par <= 1 {
+		par = 0 // serial: keep the done line free of noise
+	}
 	return statsLine{
 		TuplesAdded:      s.TuplesAdded,
 		TuplesPopped:     s.TuplesPopped,
@@ -255,6 +271,9 @@ func toStatsLine(s omega.Stats) statsLine {
 		MemPeakBytes:     s.MemPeakBytes,
 		SpillEscalations: s.SpillEscalations,
 		Backend:          s.Backend,
+		Parallelism:      par,
+		Shards:           s.Shards,
+		MergeWaitMs:      float64(s.MergeWaitNanos) / 1e6,
 		QueueWaitMs:      float64(s.QueueWaitNanos) / 1e6,
 		CompileMs:        float64(s.CompileNanos) / 1e6,
 		TTFRMs:           float64(s.TTFRNanos) / 1e6,
@@ -262,56 +281,12 @@ func toStatsLine(s omega.Stats) statsLine {
 	}
 }
 
-// parseMode maps the request's mode parameter onto a mode override. The empty
-// string means "as written".
-func parseMode(s string) (*omega.Mode, error) {
-	switch strings.ToLower(s) {
-	case "":
-		return nil, nil
-	case "exact":
-		return omega.ModeOverride(omega.Exact), nil
-	case "approx":
-		return omega.ModeOverride(omega.Approx), nil
-	case "relax":
-		return omega.ModeOverride(omega.Relax), nil
-	case "flex":
-		return omega.ModeOverride(omega.Flex), nil
-	default:
-		return nil, fmt.Errorf("unknown mode %q (want exact, approx, relax or flex)", s)
-	}
-}
-
-func parseIntParam(r *http.Request, name string) (int, error) {
-	v := r.FormValue(name)
-	if v == "" {
-		return 0, nil
-	}
-	n, err := strconv.Atoi(v)
-	// The int32 bound keeps downstream narrowing (ExecOptions.MaxDist)
-	// from silently wrapping a huge value into a small positive cap.
-	if err != nil || n < 0 || n > math.MaxInt32 {
-		return 0, fmt.Errorf("invalid %s %q", name, v)
-	}
-	return n, nil
-}
-
-// parseBytesParam parses a non-negative byte count (softmem/hardmem), falling
-// back to def when the parameter is absent.
-func parseBytesParam(r *http.Request, name string, def int64) (int64, error) {
-	v := r.FormValue(name)
-	if v == "" {
-		return def, nil
-	}
-	n, err := strconv.ParseInt(v, 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("invalid %s %q", name, v)
-	}
-	return n, nil
-}
-
 // handleQuery evaluates one query and streams its answers.
 //
-// Parameters (query string or form body):
+// Parameters (query string or form body) are the canonical knob registry
+// (omega.ExecOptions.ApplyParams) — this handler owns no per-knob parsing of
+// its own, and an invalid value is rejected with one 400 shape naming the
+// knob ("invalid <knob> <value> (<what a valid value looks like>)"):
 //
 //	q        — the CRP query text, e.g. (?X) <- APPROX (UK, locatedIn-, ?X)   [required]
 //	mode     — exact | approx | relax | flex; overrides every conjunct's mode
@@ -320,6 +295,8 @@ func parseBytesParam(r *http.Request, name string, def int64) (int64, error) {
 //	maxtuples— per-request tuple budget override
 //	softmem  — soft memory watermark in bytes (degrade to disk spilling)
 //	hardmem  — hard memory watermark in bytes (abort with 507)
+//	parallel — worker count for this request (alias: parallelism); emission
+//	           stays byte-identical to serial
 //	timeout  — per-request deadline, Go duration syntax (e.g. 2s, 500ms)
 //	backend  — auto | ranked | bulk; evaluation engine (default auto)
 //
@@ -361,54 +338,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		http.Error(w, msg, code)
 	}
 
-	text := r.FormValue("q")
+	if err := r.ParseForm(); err != nil {
+		fail(http.StatusBadRequest, "malformed form body")
+		return
+	}
+	text := r.Form.Get("q")
 	if text == "" {
 		fail(http.StatusBadRequest, "missing q parameter")
 		return
 	}
-	mode, err := parseMode(r.FormValue("mode"))
-	if err != nil {
+	// The registry owns all knob parsing: the server pre-seeds its configured
+	// defaults, present parameters override them through the shared
+	// validators, and any invalid value surfaces as a *omega.KnobError whose
+	// message names the knob.
+	eo := omega.ExecOptions{
+		Pool:         s.pool,
+		SoftMemBytes: s.softMem,
+		HardMemBytes: s.hardMem,
+		Parallelism:  s.parallel,
+	}
+	if err := eo.ApplyParams(r.Form); err != nil {
 		fail(http.StatusBadRequest, err.Error())
 		return
 	}
-	limit, err := parseIntParam(r, "limit")
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
-	}
-	if maxLimit > 0 && (limit == 0 || limit > maxLimit) {
-		limit = maxLimit
-	}
-	maxDist, err := parseIntParam(r, "maxdist")
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
-	}
-	maxTuples, err := parseIntParam(r, "maxtuples")
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
-	}
-	backend, err := omega.ParseBackend(r.FormValue("backend"))
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
-	}
-	softMem, err := parseBytesParam(r, "softmem", s.softMem)
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
-	}
-	hardMem, err := parseBytesParam(r, "hardmem", s.hardMem)
-	if err != nil {
-		fail(http.StatusBadRequest, err.Error())
-		return
+	if maxLimit > 0 && (eo.Limit == 0 || eo.Limit > maxLimit) {
+		eo.Limit = maxLimit
 	}
 	ctx := r.Context()
-	if tv := r.FormValue("timeout"); tv != "" {
-		d, err := time.ParseDuration(tv)
-		if err != nil || d <= 0 {
-			fail(http.StatusBadRequest, fmt.Sprintf("invalid timeout %q", tv))
+	if tv := r.Form.Get("timeout"); tv != "" {
+		d, err := omega.ParseTimeout(tv)
+		if err != nil {
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		var cancel context.CancelFunc
@@ -432,7 +392,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		planSpan = tr.Start(obs.Root, obs.SpanPlan)
 	}
 	planStart := time.Now()
-	pq, hit, err := s.cache.Lookup(text, mode)
+	pq, hit, err := s.cache.Lookup(text, eo.Mode)
 	compileDur = time.Since(planStart)
 	if tr != nil {
 		attr := int64(0)
@@ -458,11 +418,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	// line carries the flag so clients know their answer may be partial.
 	degraded := s.sched.Degraded()
 	if degraded {
-		if s.degLimit > 0 && (limit == 0 || limit > s.degLimit) {
-			limit = s.degLimit
+		if s.degLimit > 0 && (eo.Limit == 0 || eo.Limit > s.degLimit) {
+			eo.Limit = s.degLimit
 		}
-		if s.degDist > 0 && (maxDist == 0 || maxDist > s.degDist) {
-			maxDist = s.degDist
+		if s.degDist > 0 && (eo.MaxDist == 0 || eo.MaxDist > int32(s.degDist)) {
+			eo.MaxDist = int32(s.degDist)
 		}
 	}
 
@@ -473,7 +433,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 	// the per-request watermarks and feeds mem_peak_bytes in the done line.
 	ctx, cancelCause := context.WithCancelCause(ctx)
 	defer cancelCause(nil)
-	gauge := omega.NewMemGauge(softMem, hardMem)
+	gauge := omega.NewMemGauge(eo.SoftMemBytes, eo.HardMemBytes)
 	if s.broker != nil {
 		lease, err := s.broker.Reserve(gauge, cancelCause, s.sched.RetryAfter())
 		if err != nil {
@@ -497,15 +457,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, maxLimit in
 		tr.End(admSpan)
 	}
 
-	eo := omega.ExecOptions{
-		Limit:     limit,
-		MaxDist:   int32(maxDist),
-		MaxTuples: maxTuples,
-		Pool:      s.pool,
-		Mem:       gauge,
-		Backend:   backend,
-		Trace:     tr,
-	}
+	eo.Mem = gauge
+	eo.Trace = tr
 
 	start := time.Now()
 	enc := json.NewEncoder(w)

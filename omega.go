@@ -50,9 +50,11 @@
 package omega
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"omega/internal/automaton"
 	"omega/internal/core"
@@ -156,6 +158,33 @@ const (
 
 // ParseBackend parses "auto", "ranked" or "bulk".
 func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// KnobError is a validation failure for one execution knob from the canonical
+// knob registry (ExecOptions.ApplyParams, BindExecFlags). Every surface —
+// HTTP 400 bodies, CLI flag errors — reports the same shape, naming the knob.
+type KnobError = core.KnobError
+
+// ExecFlags holds the shared execution-knob flags bound by BindExecFlags;
+// Apply routes the parsed values through the registry's validators onto an
+// ExecOptions.
+type ExecFlags = core.ExecFlags
+
+// BindExecFlags registers the shared execution knobs (mode, limit, maxdist,
+// max-tuples, backend, soft-mem, hard-mem, parallel — or the named subset) as
+// flags on fs with the registry's canonical spellings and help text.
+// Per-binary defaults come pre-rendered in defaults, keyed by HTTP parameter
+// name, and pass through the same validation as any other value.
+func BindExecFlags(fs *flag.FlagSet, defaults map[string]string, names ...string) *ExecFlags {
+	return core.BindExecFlags(fs, defaults, names...)
+}
+
+// ParseMode parses a mode knob value: exact, approx, relax or flex
+// (case-insensitive). The error, like every registry error, is a *KnobError.
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// ParseTimeout parses the request-level timeout knob (Go duration syntax,
+// strictly positive).
+func ParseTimeout(v string) (time.Duration, error) { return core.ParseTimeout(v) }
 
 // Direction selects which incident edges to follow in Graph traversal
 // helpers such as Graph.Neighbors.
